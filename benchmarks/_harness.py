@@ -1,0 +1,37 @@
+"""Shared reporting helper for the benchmark harness.
+
+Every benchmark regenerates one figure or verifies one quantitative theorem
+of the paper.  Besides the pytest-benchmark timing, each writes the series
+the paper's figure shows (or the theorem's predicted-vs-measured table) to
+``benchmarks/results/<name>.txt`` and echoes it to stdout, so
+``pytest benchmarks/ --benchmark-only -rA`` (or the tee'd log) carries the
+full reproduction record.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def report(name: str, lines: list[str]) -> pathlib.Path:
+    """Write ``lines`` to ``results/<name>.txt`` and print them."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    print(f"\n[{name}]")
+    print(text)
+    return path
+
+
+def fmt_row(*cells: object, width: int = 12) -> str:
+    """Fixed-width row formatting for series tables."""
+    out = []
+    for cell in cells:
+        if isinstance(cell, float):
+            out.append(f"{cell:>{width}.6g}")
+        else:
+            out.append(f"{str(cell):>{width}}")
+    return "".join(out)

@@ -1,0 +1,82 @@
+"""Theorem 1.2 / Theorem A.6: the Gaussian filter CPF asymptotics.
+
+Claim: for the filter family D- (and mirrored for D+),
+
+    ln(1/f(alpha)) = (1+alpha)/(1-alpha) * t^2/2 + Theta(log t),
+
+for ``|alpha| < 1 - 1/t``.  We tabulate ``ln(1/f(alpha)) / (t^2/2)``
+against the predicted slope ``(1+alpha)/(1-alpha)`` for growing ``t`` —
+the ratio must converge (the ``Theta(log t)/t^2`` correction vanishes) —
+and cross-check the exact CPF by Monte Carlo at a feasible ``t``.
+"""
+
+import numpy as np
+
+from repro.core.estimate import estimate_collision_probability
+from repro.families.filters import (
+    GaussianFilterFamily,
+    cpf_lower_bound,
+    cpf_upper_bound,
+    filter_collision_probability,
+)
+from repro.spaces import sphere
+
+from _harness import fmt_row, report
+
+ALPHAS = [-0.5, -0.25, 0.0, 0.25, 0.5]
+T_VALUES = [1.5, 2.0, 2.5, 3.0, 4.0]
+D = 12
+
+
+def _table():
+    rows = []
+    for alpha in ALPHAS:
+        target = (1 + alpha) / (1 - alpha)
+        ratios = []
+        for t in T_VALUES:
+            f = filter_collision_probability(alpha, t, negated=True)
+            ratios.append(np.log(1 / f) / (t**2 / 2))
+        rows.append((alpha, target, ratios))
+    return rows
+
+
+def bench_theorem12_asymptotics(benchmark):
+    """Time the exact-CPF table and verify the slope convergence plus the
+    Lemma A.5 bracketing and a Monte Carlo spot check."""
+    rows = benchmark(_table)
+    lines = [
+        "Theorem 1.2 reproduction: ln(1/f(alpha)) / (t^2/2) -> "
+        "(1+alpha)/(1-alpha) for D-",
+        fmt_row("alpha", "target", *[f"t={t:g}" for t in T_VALUES]),
+    ]
+    for alpha, target, ratios in rows:
+        lines.append(fmt_row(float(alpha), float(target), *map(float, ratios)))
+        err_first = abs(ratios[0] - target)
+        err_last = abs(ratios[-1] - target)
+        assert err_last < err_first, f"no convergence at alpha={alpha}"
+    lines.append("")
+    lines.append("Lemma A.5 bracketing at t=2.5 (lower <= f <= upper):")
+    lines.append(fmt_row("alpha", "lower", "f exact", "upper"))
+    for alpha in ALPHAS:
+        f = filter_collision_probability(alpha, 2.5, negated=True)
+        lo = cpf_lower_bound(alpha, 2.5, negated=True)
+        hi = cpf_upper_bound(alpha, 2.5, negated=True)
+        lines.append(fmt_row(float(alpha), float(lo), float(f), float(hi)))
+        assert lo - 1e-12 <= f <= hi + 1e-12
+
+    lines.append("")
+    lines.append("Monte Carlo validation at t=1.5 (measured vs exact):")
+    fam = GaussianFilterFamily(D, t=1.5, negated=True)
+    lines.append(fmt_row("alpha", "measured", "exact"))
+    for alpha in [-0.4, 0.0, 0.4]:
+        est = estimate_collision_probability(
+            fam,
+            lambda n, rng, a=alpha: sphere.pairs_at_inner_product(n, D, a, rng),
+            n_functions=150,
+            pairs_per_function=100,
+            rng=3,
+        )
+        exact = filter_collision_probability(alpha, 1.5, fam.m, negated=True)
+        lines.append(fmt_row(float(alpha), est.p_hat, float(exact)))
+        assert est.contains(exact)
+    report("thm12_filter_cpf", lines)

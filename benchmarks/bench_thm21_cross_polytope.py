@@ -1,0 +1,67 @@
+"""Theorem 2.1 / Corollary 2.2: cross-polytope CPF asymptotics.
+
+Claim: the cross-polytope LSH satisfies
+``ln(1/f(alpha)) = (1-alpha)/(1+alpha) ln d + O_alpha(ln ln d)``, and the
+negated-query family CP- mirrors it with ``alpha -> -alpha``.  We measure
+``ln(1/f)/ln d`` across dimensions via the projected-space estimator and
+check convergence towards the predicted slope, plus the CP+/CP- mirror
+identity.
+"""
+
+import numpy as np
+
+from repro.families.cross_polytope import collision_probability
+
+from _harness import fmt_row, report
+
+DIMENSIONS = [8, 16, 32, 64, 128, 256]
+ALPHAS = [0.0, 0.3, 0.5]
+SAMPLES = 400_000
+
+
+def _table():
+    rows = []
+    for alpha in ALPHAS:
+        slopes = []
+        for d in DIMENSIONS:
+            f = collision_probability(alpha, d, n_samples=SAMPLES, rng=11)
+            slopes.append(np.log(1 / f) / np.log(d))
+        rows.append((alpha, slopes))
+    return rows
+
+
+def bench_theorem21_slopes(benchmark):
+    """Time the CPF estimation sweep and verify slope convergence to
+    (1-alpha)/(1+alpha)."""
+    rows = benchmark.pedantic(_table, rounds=1, iterations=1)
+    lines = [
+        "Theorem 2.1 reproduction: ln(1/f(alpha)) / ln d vs "
+        "(1-alpha)/(1+alpha) for CP+",
+        fmt_row("alpha", "target", *[f"d={d}" for d in DIMENSIONS]),
+    ]
+    for alpha, slopes in rows:
+        target = (1 - alpha) / (1 + alpha)
+        lines.append(fmt_row(float(alpha), float(target), *map(float, slopes)))
+        # O(ln ln d / ln d) corrections: the last dimension must be closer
+        # than the first.
+        assert abs(slopes[-1] - target) < abs(slopes[0] - target) + 0.02, (
+            f"no convergence at alpha={alpha}"
+        )
+        assert abs(slopes[-1] - target) < 0.3
+
+    lines.append("")
+    lines.append(
+        "Corollary 2.2 mirror identity f_-(alpha) = f_+(-alpha) at d=32 "
+        "(Monte Carlo, 1M samples per point):"
+    )
+    lines.append(fmt_row("alpha", "f_+(-a)", "f_-(a)"))
+    for alpha in [0.2, 0.4]:
+        plus = collision_probability(-alpha, 32, n_samples=1_000_000, rng=12)
+        minus = collision_probability(
+            alpha, 32, negated=True, n_samples=1_000_000, rng=13
+        )
+        lines.append(fmt_row(float(alpha), float(plus), float(minus)))
+        # Both sides are MC estimates of the same (small) probability; allow
+        # combined sampling error.
+        assert abs(plus - minus) / max(plus, minus) < 0.25
+    report("thm21_cross_polytope", lines)

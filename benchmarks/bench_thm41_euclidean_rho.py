@@ -1,0 +1,49 @@
+"""Theorem 4.1: the shifted Euclidean family achieves rho_- = (1/c^2)(1 + O(1/k)).
+
+Claim: with ``w = w(c)`` and the bucket shift ``k``, the equation-(2)
+family's collision gap towards small distances satisfies
+``rho_- * c^2 -> 1`` at rate ``O(1/k)``.  This is the paper's "surprising"
+result — the classical Datar et al. family is suboptimal as an LSH, yet its
+shifted variant is near-optimal as an anti-LSH.  We sweep ``k`` for several
+``c`` and check both the limit and the 1/k rate.
+"""
+
+import numpy as np
+
+from repro.families.euclidean_lsh import theorem41_rho_minus
+
+from _harness import fmt_row, report
+
+C_VALUES = [1.5, 2.0, 3.0]
+K_VALUES = [4, 8, 16, 32, 64]
+
+
+def _table():
+    return {
+        c: [theorem41_rho_minus(k, c) * c**2 for k in K_VALUES] for c in C_VALUES
+    }
+
+
+def bench_theorem41_rho(benchmark):
+    """Time the log-space rho sweep and verify convergence to 1 at O(1/k)."""
+    table = benchmark(_table)
+    lines = [
+        "Theorem 4.1 reproduction: rho_- * c^2 = 1 + O(1/k) for the "
+        "equation-(2) family with w = sqrt(2 pi)/(2 c)",
+        fmt_row("c", *[f"k={k}" for k in K_VALUES]),
+    ]
+    for c, values in table.items():
+        lines.append(fmt_row(float(c), *map(float, values)))
+        errors = [v - 1.0 for v in values]
+        assert all(e > 0 for e in errors)
+        assert errors[-1] < errors[0]
+        assert abs(values[-1] - 1.0) < 0.1
+        # O(1/k) rate: doubling k should shrink the excess substantially.
+        for e1, e2 in zip(errors, errors[1:]):
+            assert e2 < 0.8 * e1
+    lines.append("")
+    lines.append(
+        "excess (rho_- c^2 - 1) shrinks by >= 20% per doubling of k at "
+        "every c — consistent with the O(1/k) rate"
+    )
+    report("thm41_euclidean_rho", lines)

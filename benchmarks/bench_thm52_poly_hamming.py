@@ -1,0 +1,70 @@
+"""Theorem 5.2: polynomial CPFs in Hamming space, ``f = P(t)/Delta``.
+
+We build the root-factorized construction for a portfolio of polynomials
+(real roots, complex pairs, zero roots), verify the achieved CPF against
+``P(t)/Delta`` by Monte Carlo across the distance range, and compare our
+per-factor scaling ``Delta`` with the theorem's stated value (ours is never
+worse, strictly better for complex pairs with non-positive real part).
+"""
+
+import numpy as np
+
+from repro.core.estimate import estimate_collision_probability
+from repro.families.polynomial_hamming import build_polynomial_family
+from repro.spaces import hamming
+
+from _harness import fmt_row, report
+
+D = 48
+POLYNOMIALS = {
+    "t + 1/2": [0.5, 1.0],
+    "2 - t": [2.0, -1.0],
+    "(t+1/2)(2-t)": [1.0, 1.5, -1.0],
+    "t^2 + t + 1/2": [0.5, 1.0, 1.0],          # roots -1/2 +- i/2
+    "(t-3/2)^2 + 1": [3.25, -3.0, 1.0],        # roots 3/2 +- i
+    "t (t + 2)": [0.0, 2.0, 1.0],              # zero root + real root -2
+}
+DISTANCES = [0, 12, 24, 36, 48]
+
+
+def _build_all():
+    return {name: build_polynomial_family(c, D) for name, c in POLYNOMIALS.items()}
+
+
+def bench_theorem52_constructions(benchmark):
+    """Time the constructions and verify CPFs + Delta accounting."""
+    schemes = benchmark(_build_all)
+    lines = [
+        "Theorem 5.2 reproduction: achieved CPF = P(t)/Delta "
+        f"(d={D}, Monte Carlo vs analytic)",
+    ]
+    for name, scheme in schemes.items():
+        lines.append("")
+        lines.append(
+            f"P(t) = {name}: construction Delta = {scheme.delta:g}, "
+            f"theorem's Delta = {scheme.theorem_delta:g}"
+        )
+        assert scheme.delta <= scheme.theorem_delta + 1e-9
+        lines.append(fmt_row("t", "measured", "P(t)/Delta"))
+        for r in DISTANCES:
+            est = estimate_collision_probability(
+                scheme.family,
+                lambda n, rng, rr=r: hamming.pairs_at_distance(n, D, rr, rng),
+                n_functions=150,
+                pairs_per_function=60,
+                rng=17 + r,
+            )
+            expected = float(scheme.cpf(r / D))
+            lines.append(fmt_row(float(r / D), est.p_hat, expected))
+            assert est.contains(expected), (name, r)
+    improved = [
+        name
+        for name, scheme in schemes.items()
+        if scheme.delta < scheme.theorem_delta - 1e-9
+    ]
+    lines.append("")
+    lines.append(
+        "polynomials where the per-factor gadgets beat the theorem's "
+        f"stated Delta: {improved}"
+    )
+    report("thm52_poly_hamming", lines)

@@ -1,0 +1,80 @@
+"""Theorems 6.1 / 6.4: the annulus search data structure.
+
+Claims: (a) a query for which a point at the target proximity exists
+returns a point inside the reporting interval with probability >= 1/2;
+(b) the candidate work is sublinear — governed by
+``rho = (c_alpha + 1/c_alpha)/(c_beta + 1/c_beta) < 1`` (Theorem 6.4).
+
+We build the sphere structure over planted instances at several data-set
+sizes, measure success rate and candidates examined, compare candidate
+growth with n against linear scanning, and tabulate the Theorem 6.4
+exponent for the configured annuli.
+"""
+
+import numpy as np
+
+from repro.data.synthetic import planted_sphere_annulus
+from repro.families.annulus_sphere import theorem64_rho
+from repro.index.annulus import sphere_annulus_index
+
+from _harness import fmt_row, report
+
+D = 24
+INNER = (0.40, 0.50)   # where the planted point lives
+OUTER = (0.30, 0.60)   # what we are allowed to report
+SIZES = [500, 1000, 2000, 4000]
+QUERIES_PER_SIZE = 8
+N_TABLES = 150
+T = 1.7
+
+
+def _run():
+    rows = []
+    for n in SIZES:
+        successes = 0
+        examined = []
+        for q in range(QUERIES_PER_SIZE):
+            inst = planted_sphere_annulus(n, D, INNER, rng=1000 * n + q)
+            index = sphere_annulus_index(
+                inst.points, OUTER, t=T, n_tables=N_TABLES, rng=q
+            )
+            result = index.query(inst.query)
+            examined.append(result.candidates_examined)
+            if result.found:
+                alpha = float(inst.points[result.index] @ inst.query)
+                assert OUTER[0] <= alpha <= OUTER[1]
+                successes += 1
+        rows.append((n, successes / QUERIES_PER_SIZE, float(np.mean(examined))))
+    return rows
+
+
+def bench_theorem61_annulus(benchmark):
+    """Time the full planted-instance sweep; verify success probability and
+    sublinear candidate work."""
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        "Theorem 6.1 reproduction: annulus search on planted sphere "
+        f"instances (inner {INNER}, report {OUTER}, t={T}, L={N_TABLES})",
+        fmt_row("n", "success", "mean candidates", "linear scan", width=16),
+    ]
+    for n, success, cand in rows:
+        lines.append(fmt_row(n, float(success), float(cand), n, width=16))
+        assert success >= 0.5, f"success below 1/2 at n={n}"
+        assert cand < n / 4, f"candidate work not sublinear at n={n}"
+    # Candidate work must grow much slower than n (n^rho vs n).
+    growth = rows[-1][2] / max(rows[0][2], 1.0)
+    linear_growth = SIZES[-1] / SIZES[0]
+    lines.append("")
+    lines.append(
+        f"candidate growth over the sweep: x{growth:.2f} vs x{linear_growth:.0f} "
+        "for a linear scan"
+    )
+    assert growth < linear_growth / 2
+    # Theorem 6.4 exponent for this configuration.
+    rho = theorem64_rho(INNER[0], INNER[1], OUTER[0], OUTER[1])
+    lines.append(
+        f"Theorem 6.4 exponent for these annuli: rho = {rho:.3f} "
+        "(query time n^rho, space n^(1+rho))"
+    )
+    assert 0 < rho < 1
+    report("thm61_annulus_search", lines)

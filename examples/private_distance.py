@@ -1,0 +1,75 @@
+"""Privacy-preserving distance estimation (Section 6.4).
+
+Two hospitals hold patient records encoded as binary feature vectors and
+want to know whether two records are within (relative) Hamming distance r
+— without revealing the vectors or even the exact distance.  Section 6.4's
+protocol: both parties hash their vector with N pairs from a
+*step-function* DSH family and run private set intersection (PSI) on the
+key sets; "Yes" iff the intersection is non-empty.
+
+The step CPF is the privacy mechanism: its collision probability stays at
+the bounded flat level Theta(1/t) across [0, r], so even *identical*
+records produce only ~N/t = O(log(1/eps)) intersecting keys.  A classical
+LSH would match on all N keys for identical records, leaking that q = x
+(the triangulation weakness of [45] the paper contrasts against).
+
+The family is built purely from the paper's Hamming toolbox:
+f(t) = p0 (1 - t)^J  =  ConstantCollision(p0) (x) BitSampling^J.
+
+Run:  python examples/private_distance.py
+"""
+
+import numpy as np
+
+from repro.privacy import PrivateDistanceEstimator, design_protocol
+from repro.spaces import hamming
+
+SEED = 23
+DIM = 128
+R = 0.08       # "similar records": relative Hamming distance <= 8%
+C = 3.0        # distances in (r, c r) may answer either way
+EPSILON = 0.1  # false negative target
+DELTA = 0.1    # false positive target
+
+
+def main():
+    design = design_protocol(d=DIM, r=R, c=C, epsilon=EPSILON, delta=DELTA)
+    print("protocol design (Section 6.4):")
+    print(f"  bit-sampling power J    = {design.j}")
+    print(f"  hash pairs N            = {design.n_hashes}")
+    print(f"  flat level p0           = {design.flat_level:.3f}")
+    print(f"  p_near = p0 (1-r)^J     = {design.p_near:.4f}")
+    print(f"  p_far  = p0 (1-cr)^J    = {design.p_far:.6f}")
+    print(f"  flat ratio (Theta cst)  = {design.flat_ratio:.2f}")
+    print(f"  effective rho           = {design.rho:.3f}")
+    print(f"  expected leak (items)   = {design.expected_leak_items:.1f}")
+
+    estimator = PrivateDistanceEstimator(design, rng=SEED)
+    rng = np.random.default_rng(SEED + 1)
+
+    trials = 50
+    for label, rel in [("near (t = r/2)", R / 2), ("boundary (t = r)", R),
+                       ("gray zone (t = 2r)", 2 * R), ("far (t = 2 c r)", 2 * C * R)]:
+        bits = int(round(rel * DIM))
+        yes = 0
+        for _ in range(trials):
+            x, q = hamming.pairs_at_distance(1, DIM, bits, rng)
+            yes += estimator.is_within(x, q)
+        print(f"  {label:<20} -> Yes rate {yes / trials:.2f}")
+
+    # Leakage for identical records: the step CPF's whole point.
+    x = hamming.random_points(1, DIM, rng)
+    _, psi = estimator.decide(estimator.sketch_data(x), estimator.sketch_query(x))
+    print(
+        f"\nidentical records: intersection size {len(psi.intersection)} of "
+        f"{design.n_hashes} keys ({psi.leaked_bits:.0f} accounted leaked bits)"
+    )
+    print(
+        "a monotone LSH would intersect on every key here; the bounded flat "
+        "level caps leakage at O(log(1/eps)) items regardless of how close "
+        "the records are"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Output-sensitive spherical range reporting (Section 6.3, Theorem 6.5).
+
+Report *all* points within distance r of a query.  A classical LSH wastes
+work: the closest points collide in nearly every repetition, so each is
+retrieved L times.  A step-function CPF retrieves every in-range point with
+roughly equal probability, making the duplicate overhead per reported point
+O(f_max / f_min) — constant for a flat step (Theorem 6.5).
+
+This script builds both indexes over the same planted instance and compares
+recall and duplicates-per-reported-point.
+
+Run:  python examples/range_reporting.py
+"""
+
+import numpy as np
+
+from repro.core.combinators import PoweredFamily
+from repro.data import planted_euclidean_range
+from repro.families import ShiftedGaussianProjection, design_step_family
+from repro.index import RangeReportingIndex
+
+SEED = 5
+DIM = 8
+RADIUS = 4.0
+N_POINTS = 1500
+N_NEAR = 60
+N_TABLES = 60
+
+
+def euclid(q, pts):
+    return np.linalg.norm(pts - q, axis=1)
+
+
+def main():
+    inst = planted_euclidean_range(
+        N_POINTS, DIM, RADIUS, n_near=N_NEAR, rng=SEED
+    )
+    truth = set(inst.near_indices)
+    print(
+        f"instance: {N_POINTS} points, {N_NEAR} planted within r={RADIUS}, "
+        f"d={DIM}"
+    )
+
+    # Step-function CPF (Figure 2 mixture): flat on [0, r].
+    design = design_step_family(DIM, r_flat=RADIUS, level=0.12, n_components=4)
+    print(
+        f"step design: f_min={design.f_min:.3f} f_max={design.f_max:.3f} "
+        f"(ratio {design.f_max / design.f_min:.2f}), tail={design.tail:.3f}"
+    )
+    step_index = RangeReportingIndex(
+        inst.points, design.family, RADIUS, euclid, N_TABLES, rng=SEED + 1
+    )
+
+    # Classical monotone LSH baseline at a comparable far-distance rate.
+    classical_family = PoweredFamily(ShiftedGaussianProjection(DIM, w=4.0, k=0), 2)
+    classical_index = RangeReportingIndex(
+        inst.points, classical_family, RADIUS, euclid, N_TABLES, rng=SEED + 2
+    )
+
+    print(f"\n{'index':<22}{'recall':>8}{'reported':>10}{'in-range':>10}"
+          f"{'per-report':>12}{'far noise':>11}")
+    for name, index in [("step CPF (Thm 6.5)", step_index),
+                        ("classical LSH", classical_index)]:
+        report = index.query(inst.query)
+        recall = len(set(report.indices) & truth) / len(truth)
+        print(
+            f"{name:<22}{recall:>8.2f}{len(report.indices):>10}"
+            f"{report.in_range_retrievals:>10}"
+            f"{report.retrievals_per_report:>12.1f}{report.far_retrievals:>11}"
+        )
+    print(
+        "\nTheorem 6.5: the in-range retrievals per reported point are "
+        "bounded by L*f_max — near L*f_min (the minimum possible for this "
+        "recall) when the step is flat, but much larger for the classical "
+        "index whose closest points collide in almost every table"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+legacy editable installs (``python setup.py develop``) work in offline
+environments that lack the ``wheel`` package required by PEP 660 editable
+wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro — a reproduction of *Distance-Sensitive Hashing* (Aumüller,
+Christiani, Pagh, Silvestri; PODS 2018).
+
+A distance-sensitive hashing (DSH) scheme is a distribution over *pairs* of
+hash functions ``(h, g)`` such that ``Pr[h(x) = g(y)] = f(dist(x, y))`` for
+a prescribed collision probability function (CPF) ``f``.  This library
+implements the paper's framework end to end:
+
+* the core abstractions (:mod:`repro.core`): CPFs, families, Lemma 1.4
+  combinators, Monte Carlo estimation, rho-values;
+* every construction: bit-sampling and anti bit-sampling, SimHash,
+  cross-polytope CP+/-, Gaussian filters D+/- (Theorem 1.2), the shifted
+  Euclidean family (equation (2)), polynomial CPFs in Hamming space
+  (Theorem 5.2) and on the sphere (Theorem 5.1), the annulus family
+  (Theorem 6.2) and step-function CPFs (Figure 2) —
+  :mod:`repro.families`;
+* the Section 3 lower bounds with exact verification
+  (:mod:`repro.bounds`, :mod:`repro.booleancube`);
+* the Section 6 applications: annulus search, hyperplane queries, range
+  reporting, privacy-preserving distance estimation (:mod:`repro.index`,
+  :mod:`repro.privacy`).
+
+Quickstart::
+
+    import numpy as np
+    from repro.families import AnnulusFamily
+    from repro.core import estimate_collision_probability
+    from repro.spaces import sphere
+
+    family = AnnulusFamily(d=32, alpha_max=0.3, t=2.0)  # CPF peaks at 0.3
+    est = estimate_collision_probability(
+        family,
+        lambda n, rng: sphere.pairs_at_inner_product(n, 32, 0.3, rng),
+        rng=0,
+    )
+    print(est.p_hat, family.cpf(0.3))
+"""
+
+from repro import booleancube, bounds, core, data, families, index, privacy, spaces
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "spaces",
+    "families",
+    "bounds",
+    "booleancube",
+    "index",
+    "privacy",
+    "data",
+    "__version__",
+]

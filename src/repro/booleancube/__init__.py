@@ -1,0 +1,19 @@
+"""Analysis-of-Boolean-functions substrate for the lower-bound machinery.
+
+Section 3 of the paper works on the Hamming cube with randomly
+alpha-correlated points (Definition 3.1) and the noise operator ``T_alpha``
+(via O'Donnell's small-set expansion theorems).  This package implements the
+objects exactly for moderate ``d``:
+
+* :mod:`repro.booleancube.walsh` — fast Walsh-Hadamard transform and Fourier
+  coefficients,
+* :mod:`repro.booleancube.noise` — the noise operator, noise stability, and
+  *exact* probabilistic CPFs ``f_hat(alpha)`` of arbitrary hash-function
+  pairs,
+* :mod:`repro.booleancube.sets` — indicators, volumes, Hamming balls and
+  subcubes, and exact correlated-pair probabilities ``Pr[x in A, y in B]``.
+"""
+
+from repro.booleancube import noise, sets, walsh
+
+__all__ = ["walsh", "noise", "sets"]

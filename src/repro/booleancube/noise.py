@@ -1,0 +1,131 @@
+"""The noise operator ``T_alpha`` and exact probabilistic CPFs.
+
+For randomly alpha-correlated ``(x, y)`` (Definition 3.1) the conditional
+distribution of ``y`` given ``x`` is the binary symmetric channel with flip
+probability ``(1 - alpha)/2``; the induced averaging operator is
+
+    (T_alpha f)(x) = E_{y ~ alpha-correlated to x}[f(y)],
+
+which acts diagonally in the Fourier basis: ``T_alpha f_hat(S) =
+alpha^{|S|} f_hat(S)``.  This lets us compute the *exact* probabilistic CPF
+(Definition 3.3)
+
+    f_hat(alpha) = Pr_{(h,g), (x,y)}[h(x) = g(y)]
+
+of any concrete pair of hash functions in ``O(L d 2^d)`` time where ``L`` is
+the number of shared hash values — the workhorse behind the empirical
+verification of the Theorem 1.3 lower bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.booleancube.walsh import (
+    fourier_coefficients,
+    inverse_fourier,
+    popcounts,
+)
+
+__all__ = [
+    "noise_operator",
+    "noise_stability",
+    "correlated_collision_probability",
+    "exact_probabilistic_cpf",
+]
+
+
+def noise_operator(values: np.ndarray, alpha: float) -> np.ndarray:
+    """Apply ``T_alpha`` to a function given by its point values.
+
+    Parameters
+    ----------
+    values:
+        ``(2**d,)`` array of ``f`` over the cube in index order.
+    alpha:
+        Correlation in ``[-1, 1]``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Point values of ``T_alpha f``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    d = int(np.log2(values.shape[-1]))
+    coeffs = fourier_coefficients(values)
+    coeffs = coeffs * np.power(float(alpha), popcounts(d))
+    return inverse_fourier(coeffs)
+
+
+def noise_stability(f: np.ndarray, g: np.ndarray, alpha: float) -> float:
+    """``E_{(x,y) alpha-corr}[f(x) g(y)] = sum_S alpha^{|S|} f_hat(S) g_hat(S)``."""
+    f = np.asarray(f, dtype=np.float64)
+    g = np.asarray(g, dtype=np.float64)
+    if f.shape != g.shape:
+        raise ValueError(f"shape mismatch: {f.shape} vs {g.shape}")
+    d = int(np.log2(f.shape[-1]))
+    fc = fourier_coefficients(f)
+    gc = fourier_coefficients(g)
+    return float(np.sum(np.power(float(alpha), popcounts(d)) * fc * gc))
+
+
+def correlated_collision_probability(
+    h_labels: np.ndarray, g_labels: np.ndarray, alpha: float
+) -> float:
+    """Exact ``Pr_{(x,y) alpha-corr}[h(x) = g(y)]`` for one function pair.
+
+    Parameters
+    ----------
+    h_labels, g_labels:
+        ``(2**d,)`` integer label arrays: the hash values of every cube
+        point under ``h`` and ``g`` (in :func:`enumerate_cube` order).
+    alpha:
+        Correlation in ``[-1, 1]``.
+
+    Notes
+    -----
+    Computed as ``sum_i <1_{h=i}, T_alpha 1_{g=i}> / 2^d`` where the sum
+    ranges over labels occurring on both sides.
+    """
+    h_labels = np.asarray(h_labels)
+    g_labels = np.asarray(g_labels)
+    if h_labels.shape != g_labels.shape:
+        raise ValueError(f"shape mismatch: {h_labels.shape} vs {g_labels.shape}")
+    n = h_labels.shape[0]
+    shared = np.intersect1d(np.unique(h_labels), np.unique(g_labels))
+    total = 0.0
+    for label in shared:
+        smoothed = noise_operator((g_labels == label).astype(np.float64), alpha)
+        total += float(np.sum(smoothed[h_labels == label])) / n
+    return total
+
+
+def exact_probabilistic_cpf(
+    label_pairs: list[tuple[np.ndarray, np.ndarray]], alpha: float
+) -> float:
+    """Exact probabilistic CPF ``f_hat(alpha)`` averaged over sampled pairs.
+
+    Parameters
+    ----------
+    label_pairs:
+        List of ``(h_labels, g_labels)`` arrays over the full cube — e.g.
+        produced by evaluating sampled :class:`~repro.core.family.HashPair`
+        objects on :func:`~repro.booleancube.walsh.enumerate_cube`.
+    alpha:
+        Correlation in ``[-1, 1]``.
+
+    Returns
+    -------
+    float
+        The Monte-Carlo-free average of
+        :func:`correlated_collision_probability` over the supplied pairs
+        (exact given the pairs; the only randomness left is which pairs were
+        sampled from the family).
+    """
+    if not label_pairs:
+        raise ValueError("label_pairs must be non-empty")
+    return float(
+        np.mean(
+            [correlated_collision_probability(h, g, alpha) for h, g in label_pairs]
+        )
+    )

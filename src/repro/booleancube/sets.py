@@ -1,0 +1,121 @@
+"""Subsets of the Hamming cube: indicators, volumes, and exact correlated
+pair probabilities.
+
+These are the objects quantified over by the (reverse) small-set expansion
+theorems (Theorems 3.2 and 3.9): sets ``A, B`` with volumes written as
+``exp(-a^2/2)`` and the probability ``Pr[x in A, y in B]`` under random
+alpha-correlation.  We compute that probability exactly through the noise
+operator, which is what the verification benchmarks compare against the
+theorem bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.booleancube.noise import noise_operator
+from repro.booleancube.walsh import enumerate_cube
+
+__all__ = [
+    "volume",
+    "volume_parameter",
+    "hamming_ball",
+    "subcube",
+    "indicator_from_points",
+    "correlated_pair_probability",
+]
+
+
+def volume(indicator: np.ndarray) -> float:
+    """Volume ``|A| / 2^d`` of a set given by its 0/1 indicator vector."""
+    indicator = np.asarray(indicator, dtype=np.float64)
+    return float(np.mean(indicator))
+
+
+def volume_parameter(indicator: np.ndarray) -> float:
+    """The ``a >= 0`` with ``|A|/2^d = exp(-a^2/2)`` (Theorem 3.2's notation).
+
+    Raises ``ValueError`` for empty sets (volume 0 has no finite parameter).
+    """
+    v = volume(indicator)
+    if v <= 0.0:
+        raise ValueError("empty set has no finite volume parameter")
+    if v > 1.0:
+        raise ValueError(f"indicator volume {v} exceeds 1")
+    return float(np.sqrt(max(0.0, -2.0 * np.log(v))))
+
+
+def hamming_ball(d: int, radius: int, center: np.ndarray | None = None) -> np.ndarray:
+    """Indicator of the Hamming ball of the given ``radius``.
+
+    Parameters
+    ----------
+    d:
+        Cube dimension.
+    radius:
+        Inclusive radius in ``[0, d]``.
+    center:
+        Center point as a length-``d`` 0/1 array; defaults to the origin.
+    """
+    if not 0 <= radius <= d:
+        raise ValueError(f"radius must lie in [0, {d}], got {radius}")
+    cube = enumerate_cube(d)
+    if center is None:
+        center = np.zeros(d, dtype=np.int8)
+    center = np.asarray(center).astype(np.int8)
+    if center.shape != (d,):
+        raise ValueError(f"center must have shape ({d},), got {center.shape}")
+    dist = np.count_nonzero(cube != center, axis=1)
+    return (dist <= radius).astype(np.float64)
+
+
+def subcube(d: int, fixed: dict[int, int]) -> np.ndarray:
+    """Indicator of the subcube with coordinates in ``fixed`` pinned.
+
+    Parameters
+    ----------
+    d:
+        Cube dimension.
+    fixed:
+        Mapping ``coordinate -> bit`` of pinned coordinates; volume is
+        ``2^{-|fixed|}``.
+    """
+    cube = enumerate_cube(d)
+    ind = np.ones(2**d, dtype=np.float64)
+    for coord, bit in fixed.items():
+        if not 0 <= coord < d:
+            raise ValueError(f"coordinate {coord} out of range for d={d}")
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        ind *= cube[:, coord] == bit
+    return ind
+
+
+def indicator_from_points(d: int, points: np.ndarray) -> np.ndarray:
+    """Indicator of an explicit point set given as an ``(m, d)`` 0/1 array."""
+    points = np.atleast_2d(np.asarray(points)).astype(np.int64)
+    if points.shape[1] != d:
+        raise ValueError(f"points must have {d} columns, got {points.shape[1]}")
+    idx = points @ (1 << np.arange(d, dtype=np.int64))
+    ind = np.zeros(2**d, dtype=np.float64)
+    ind[idx] = 1.0
+    return ind
+
+
+def correlated_pair_probability(
+    a_indicator: np.ndarray, b_indicator: np.ndarray, alpha: float
+) -> float:
+    """Exact ``Pr_{(x,y) alpha-corr}[x in A, y in B]``.
+
+    Computed as ``E_x[1_A(x) (T_alpha 1_B)(x)]`` — the quantity bounded from
+    below by the reverse small-set expansion theorem (Theorem 3.2) and from
+    above by the generalized one (Theorem 3.9).
+    """
+    a_indicator = np.asarray(a_indicator, dtype=np.float64)
+    b_indicator = np.asarray(b_indicator, dtype=np.float64)
+    if a_indicator.shape != b_indicator.shape:
+        raise ValueError(
+            f"shape mismatch: {a_indicator.shape} vs {b_indicator.shape}"
+        )
+    smoothed = noise_operator(b_indicator, alpha)
+    return float(np.mean(a_indicator * smoothed))

@@ -1,0 +1,38 @@
+"""Lower bounds for monotone DSH (Section 3 of the paper).
+
+* :mod:`repro.bounds.sse` — the (reverse / generalized) small-set expansion
+  bounds of O'Donnell used as the analytic engine (Theorems 3.2 and 3.9).
+* :mod:`repro.bounds.monotone` — the DSH lower bounds built on them:
+  Theorem 1.3 / Lemma 3.5 (``f_hat(alpha) >= f_hat(0)^{(1+alpha)/(1-alpha)}``),
+  Lemma 3.10 / Theorem 3.11 (the increasing direction), and the
+  ``rho``-style bounds of Theorems 3.7 / 3.8 — plus exact verification
+  harnesses that evaluate arbitrary families on the full Boolean cube.
+"""
+
+from repro.bounds.monotone import (
+    BoundCheck,
+    forward_bound_curve,
+    reverse_bound_curve,
+    theorem37_rho_lower_bound,
+    theorem38_rho_lower_bound,
+    verify_forward_bound,
+    verify_reverse_bound,
+)
+from repro.bounds.sse import (
+    generalized_sse_upper_bound,
+    reverse_sse_lower_bound,
+    volume_to_parameter,
+)
+
+__all__ = [
+    "reverse_sse_lower_bound",
+    "generalized_sse_upper_bound",
+    "volume_to_parameter",
+    "BoundCheck",
+    "reverse_bound_curve",
+    "forward_bound_curve",
+    "theorem37_rho_lower_bound",
+    "theorem38_rho_lower_bound",
+    "verify_reverse_bound",
+    "verify_forward_bound",
+]

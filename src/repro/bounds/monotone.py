@@ -1,0 +1,235 @@
+"""Lower bounds for monotone DSH families (Section 3).
+
+The central results:
+
+* **Lemma 3.5 / Theorem 1.3** — for *every* distribution over pairs
+  ``h, g : {0,1}^d -> R`` and every ``0 <= alpha < 1``:
+
+      f_hat(alpha) >= f_hat(0) ** ((1 + alpha)/(1 - alpha)),
+
+  where ``f_hat`` is the probabilistic CPF (Definition 3.3).  A CPF cannot
+  *decrease* with similarity faster than this, no matter how asymmetric the
+  family: anti-LSH has a hard speed limit, and Theorem 1.2's construction
+  sits on it.
+* **Lemma 3.10 / Theorem 3.11** — the mirrored statement
+  ``f_hat(alpha) <= f_hat(0) ** ((1 - alpha)/(1 + alpha))``: asymmetry does
+  not buy anything for *increasing* CPFs beyond classical LSH bounds.
+* **Theorems 3.7 / 3.8** — the induced bounds on rho-values, recovering the
+  familiar ``1/(2c - 1)`` LSH lower bound shape.
+
+The verification harness exploits a pleasant fact: both lemmas hold for
+*every* distribution over function pairs, in particular for the empirical
+(uniform) distribution over any finite sample of pairs.  Evaluating sampled
+pairs on the full cube and computing ``f_hat`` exactly through the noise
+operator therefore yields an *exact* check with zero statistical slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.booleancube.noise import exact_probabilistic_cpf
+from repro.booleancube.walsh import enumerate_cube
+from repro.core.family import DSHFamily
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_in_closed_interval
+
+__all__ = [
+    "reverse_bound_curve",
+    "forward_bound_curve",
+    "theorem37_rho_lower_bound",
+    "theorem38_rho_lower_bound",
+    "BoundCheck",
+    "collect_label_pairs",
+    "verify_reverse_bound",
+    "verify_forward_bound",
+]
+
+
+def reverse_bound_curve(f_at_zero: float, alpha: float | np.ndarray) -> np.ndarray:
+    """Lemma 3.5's floor: ``f_hat(0) ** ((1+alpha)/(1-alpha))``.
+
+    Any probabilistic CPF with value ``f_at_zero`` at correlation 0 must lie
+    **above** this curve for ``alpha in [0, 1)``.
+    """
+    if not 0.0 < f_at_zero <= 1.0:
+        raise ValueError(f"f_at_zero must lie in (0, 1], got {f_at_zero}")
+    alpha = np.asarray(alpha, dtype=np.float64)
+    if np.any(alpha < 0) or np.any(alpha >= 1):
+        raise ValueError("alpha must lie in [0, 1)")
+    out = f_at_zero ** ((1.0 + alpha) / (1.0 - alpha))
+    return out if out.ndim else float(out)
+
+
+def forward_bound_curve(f_at_zero: float, alpha: float | np.ndarray) -> np.ndarray:
+    """Lemma 3.10's ceiling: ``f_hat(0) ** ((1-alpha)/(1+alpha))``.
+
+    Any probabilistic CPF must lie **below** this curve for
+    ``alpha in [0, 1)`` — the asymmetric extension of classical LSH upper
+    bounds on collision-probability growth.
+    """
+    if not 0.0 < f_at_zero <= 1.0:
+        raise ValueError(f"f_at_zero must lie in (0, 1], got {f_at_zero}")
+    alpha = np.asarray(alpha, dtype=np.float64)
+    if np.any(alpha < 0) or np.any(alpha >= 1):
+        raise ValueError("alpha must lie in [0, 1)")
+    out = f_at_zero ** ((1.0 - alpha) / (1.0 + alpha))
+    return out if out.ndim else float(out)
+
+
+def theorem37_rho_lower_bound(
+    alpha_minus: float, alpha_plus: float, f_plus: float = 0.0, d: int = 0
+) -> float:
+    """Leading term of the Theorem 3.7 bound on
+    ``rho_- = log(1/f_-)/log(1/f_+)``:
+
+        rho_- >= (1 - alpha_+) / (1 + alpha_+ - 2 alpha_-) - O(sqrt(log(1/f_+)/d)).
+
+    Returns the leading term; when ``f_plus`` and ``d`` are supplied the
+    correction magnitude ``sqrt(log(1/f_+)/d)`` is subtracted (with unit
+    constant — the theorem's constant is unspecified, so treat the corrected
+    value as indicative only).
+    """
+    check_in_closed_interval(alpha_minus, 0.0, 1.0, "alpha_minus")
+    check_in_closed_interval(alpha_plus, 0.0, 1.0, "alpha_plus")
+    if alpha_minus >= alpha_plus:
+        raise ValueError(
+            f"need alpha_minus < alpha_plus, got {alpha_minus} >= {alpha_plus}"
+        )
+    leading = (1.0 - alpha_plus) / (1.0 + alpha_plus - 2.0 * alpha_minus)
+    if f_plus > 0.0 and d > 0:
+        leading -= float(np.sqrt(np.log(1.0 / f_plus) / d))
+    return float(leading)
+
+
+def theorem38_rho_lower_bound(c: float) -> float:
+    """The distance-form leading term ``1/(2c - 1)`` of Theorem 3.8."""
+    if c <= 1.0:
+        raise ValueError(f"approximation factor c must be > 1, got {c}")
+    return 1.0 / (2.0 * c - 1.0)
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """Outcome of one bound verification at a single correlation value."""
+
+    alpha: float
+    f_hat: float
+    bound: float
+    satisfied: bool
+
+    @property
+    def margin(self) -> float:
+        """``f_hat - bound`` (reverse) or ``bound - f_hat`` (forward),
+        stored signed as computed by the harness; >= 0 when satisfied."""
+        return self.f_hat - self.bound
+
+
+def collect_label_pairs(
+    family: DSHFamily,
+    d: int,
+    n_pairs: int = 32,
+    rng: int | np.random.Generator | None = None,
+    point_map: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Evaluate ``n_pairs`` sampled pairs of ``family`` on the full cube.
+
+    Parameters
+    ----------
+    family:
+        Any DSH family.
+    d:
+        Cube dimension (``2^d`` evaluations per function; keep ``d <= ~16``).
+    n_pairs:
+        Number of function pairs to sample.
+    rng:
+        Seed or generator.
+    point_map:
+        Optional map applied to the 0/1 cube points before hashing — e.g.
+        :func:`repro.spaces.embeddings.hamming_to_sphere` for families
+        defined on the unit sphere.
+
+    Returns
+    -------
+    list of (h_labels, g_labels)
+        Integer label arrays over the cube, collapsed across hash
+        components, ready for
+        :func:`repro.booleancube.noise.exact_probabilistic_cpf`.
+    """
+    rng = ensure_rng(rng)
+    cube = enumerate_cube(d)
+    points = cube if point_map is None else point_map(cube)
+    label_pairs = []
+    for pair in family.sample_pairs(n_pairs, rng):
+        h_comp = pair.hash_data(points)
+        g_comp = pair.hash_query(points)
+        # Collapse multi-component rows to single integer labels, jointly so
+        # that equal rows on either side map to equal labels.
+        stacked = np.vstack([h_comp, g_comp])
+        _, labels = np.unique(stacked, axis=0, return_inverse=True)
+        n = cube.shape[0]
+        label_pairs.append((labels[:n].astype(np.int64), labels[n:].astype(np.int64)))
+    return label_pairs
+
+
+def _verify(
+    family: DSHFamily,
+    d: int,
+    alphas: Sequence[float],
+    n_pairs: int,
+    rng: int | np.random.Generator | None,
+    point_map: Callable[[np.ndarray], np.ndarray] | None,
+    direction: str,
+) -> list[BoundCheck]:
+    label_pairs = collect_label_pairs(family, d, n_pairs, rng, point_map)
+    f_zero = exact_probabilistic_cpf(label_pairs, 0.0)
+    if f_zero <= 0.0:
+        raise ValueError(
+            "f_hat(0) = 0 for the sampled pairs; the bound is vacuous "
+            "(try more pairs or a different family)"
+        )
+    checks = []
+    for alpha in alphas:
+        alpha = float(alpha)
+        f_hat = exact_probabilistic_cpf(label_pairs, alpha)
+        if direction == "reverse":
+            bound = float(reverse_bound_curve(f_zero, alpha))
+            ok = f_hat >= bound - 1e-9
+        else:
+            bound = float(forward_bound_curve(f_zero, alpha))
+            ok = f_hat <= bound + 1e-9
+        checks.append(BoundCheck(alpha=alpha, f_hat=f_hat, bound=bound, satisfied=ok))
+    return checks
+
+
+def verify_reverse_bound(
+    family: DSHFamily,
+    d: int,
+    alphas: Sequence[float],
+    n_pairs: int = 32,
+    rng: int | np.random.Generator | None = None,
+    point_map: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> list[BoundCheck]:
+    """Exact check of Lemma 3.5 (``f_hat(alpha) >= f_hat(0)^{(1+a)/(1-a)}``)
+    for the empirical distribution over ``n_pairs`` sampled pairs.
+
+    Both sides are computed exactly (noise operator), so every returned
+    check must be satisfied for the lemma to hold — there is no sampling
+    slack in the inequality itself.
+    """
+    return _verify(family, d, alphas, n_pairs, rng, point_map, "reverse")
+
+
+def verify_forward_bound(
+    family: DSHFamily,
+    d: int,
+    alphas: Sequence[float],
+    n_pairs: int = 32,
+    rng: int | np.random.Generator | None = None,
+    point_map: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> list[BoundCheck]:
+    """Exact check of Lemma 3.10 (``f_hat(alpha) <= f_hat(0)^{(1-a)/(1+a)}``)."""
+    return _verify(family, d, alphas, n_pairs, rng, point_map, "forward")

@@ -1,0 +1,78 @@
+"""Small-set expansion bounds (Theorems 3.2 and 3.9, after O'Donnell [39]).
+
+For sets ``A, B`` of the Hamming cube with volumes ``exp(-a^2/2)`` and
+``exp(-b^2/2)`` and randomly alpha-correlated ``(x, y)``:
+
+* **Reverse SSE (Theorem 3.2)** — for ``0 <= alpha <= 1``:
+
+      Pr[x in A, y in B] >= exp( -1/2 (a^2 + 2 alpha a b + b^2)/(1 - alpha^2) ).
+
+* **Generalized SSE (Theorem 3.9)** — for ``0 <= alpha b <= a <= b``:
+
+      Pr[x in A, y in B] <= exp( -1/2 (a^2 - 2 alpha a b + b^2)/(1 - alpha^2) ).
+
+  (The paper's text displays ">=" here; this is a typesetting slip — the
+  generalized SSE theorem is an *upper* bound, and only an upper bound makes
+  Lemma 3.10's ``f_hat(alpha) <= f_hat(0)^{(1-alpha)/(1+alpha)}`` derivable.
+  We implement it as the upper bound.)
+
+Both are verified exactly against noise-operator probabilities in the test
+suite and benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_in_closed_interval
+
+__all__ = [
+    "volume_to_parameter",
+    "reverse_sse_lower_bound",
+    "generalized_sse_upper_bound",
+]
+
+
+def volume_to_parameter(volume: float) -> float:
+    """The ``a >= 0`` with ``volume = exp(-a^2/2)`` (inverse of the volume
+    parameterization used by both theorems)."""
+    if not 0.0 < volume <= 1.0:
+        raise ValueError(f"volume must lie in (0, 1], got {volume}")
+    return float(np.sqrt(max(0.0, -2.0 * np.log(volume))))
+
+
+def reverse_sse_lower_bound(vol_a: float, vol_b: float, alpha: float) -> float:
+    """Theorem 3.2 lower bound on ``Pr[x in A, y in B]``.
+
+    Parameters
+    ----------
+    vol_a, vol_b:
+        Set volumes in ``(0, 1]``.
+    alpha:
+        Correlation in ``[0, 1)``.
+    """
+    check_in_closed_interval(alpha, 0.0, 1.0 - 1e-12, "alpha")
+    a = volume_to_parameter(vol_a)
+    b = volume_to_parameter(vol_b)
+    exponent = -0.5 * (a**2 + 2 * alpha * a * b + b**2) / (1.0 - alpha**2)
+    return float(np.exp(exponent))
+
+
+def generalized_sse_upper_bound(vol_a: float, vol_b: float, alpha: float) -> float:
+    """Theorem 3.9 upper bound on ``Pr[x in A, y in B]``.
+
+    Requires the theorem's applicability condition ``0 <= alpha b <= a <= b``
+    (``a, b`` the volume parameters); raises ``ValueError`` otherwise.
+    """
+    check_in_closed_interval(alpha, 0.0, 1.0 - 1e-12, "alpha")
+    a = volume_to_parameter(vol_a)
+    b = volume_to_parameter(vol_b)
+    if a > b:
+        a, b = b, a  # the bound is symmetric; order so that a <= b
+    if not alpha * b <= a + 1e-12:
+        raise ValueError(
+            f"Theorem 3.9 requires alpha*b <= a <= b; got a={a:.4f}, b={b:.4f}, "
+            f"alpha={alpha}"
+        )
+    exponent = -0.5 * (a**2 - 2 * alpha * a * b + b**2) / (1.0 - alpha**2)
+    return float(np.exp(exponent))

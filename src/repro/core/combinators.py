@@ -1,0 +1,220 @@
+"""Family combinators — Lemma 1.4 and the point-transform trick.
+
+Lemma 1.4 (proved in Appendix C.1 for the asymmetric setting):
+
+(a) concatenating families multiplies their CPFs:
+    ``f(x) = prod_i f_i(x)`` — :class:`ConcatenatedFamily`,
+    with the special case of powering one family — :class:`PoweredFamily`;
+(b) drawing a family from a probability distribution averages the CPFs:
+    ``f(x) = sum_i p_i f_i(x)`` — :class:`MixtureFamily`.
+
+:class:`TransformedFamily` implements the paper's other basic move: apply
+deterministic maps to points before hashing.  Negating the query point turns
+an LSH into an anti-LSH (Sections 2.1–2.2), and the Valiant embeddings turn
+angular LSH into polynomial DSH (Theorem 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.cpf import CPF, MixtureCPF, PowerCPF, ProductCPF
+from repro.core.family import DSHFamily, HashPair, as_components
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+__all__ = [
+    "ConcatenatedFamily",
+    "PoweredFamily",
+    "MixtureFamily",
+    "TransformedFamily",
+    "negate_queries",
+]
+
+
+def _combined_cpf_or_none(
+    families: Sequence[DSHFamily], builder: Callable[[list[CPF]], CPF]
+) -> CPF | None:
+    cpfs = [fam.cpf for fam in families]
+    if any(c is None for c in cpfs):
+        return None
+    try:
+        return builder(cpfs)  # type: ignore[arg-type]
+    except ValueError:
+        # Mixed argument kinds: the combined family is still usable, it just
+        # has no single-argument analytic CPF.
+        return None
+
+
+class ConcatenatedFamily(DSHFamily):
+    """Lemma 1.4(a): hash with every sub-family; collide iff all collide.
+
+    The sampled pair stacks the component columns of each sub-pair, so the
+    collision event is the conjunction of sub-collisions and the CPF is the
+    product of sub-CPFs.
+    """
+
+    def __init__(self, families: Sequence[DSHFamily]):
+        self.families = list(families)
+        if not self.families:
+            raise ValueError("need at least one family")
+
+    def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        rng = ensure_rng(rng)
+        pairs = [fam.sample(r) for fam, r in zip(self.families, spawn_rngs(rng, len(self.families)))]
+
+        def h(points: np.ndarray) -> np.ndarray:
+            return np.hstack([p.hash_data(points) for p in pairs])
+
+        def g(points: np.ndarray) -> np.ndarray:
+            return np.hstack([p.hash_query(points) for p in pairs])
+
+        return HashPair(h=h, g=g, meta={"parts": [p.meta for p in pairs]})
+
+    @property
+    def cpf(self) -> CPF | None:
+        return _combined_cpf_or_none(self.families, ProductCPF)
+
+    @property
+    def is_symmetric(self) -> bool:
+        return all(fam.is_symmetric for fam in self.families)
+
+
+class PoweredFamily(ConcatenatedFamily):
+    """``k``-fold concatenation of one family: CPF ``f**k``.
+
+    This is the standard amplification ("powering") step used to push
+    collision probabilities below ``1/n`` (remark after Theorem 6.1).
+    """
+
+    def __init__(self, base: DSHFamily, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        super().__init__([base] * k)
+        self.base = base
+        self.k = int(k)
+
+    @property
+    def cpf(self) -> CPF | None:
+        base_cpf = self.base.cpf
+        return None if base_cpf is None else PowerCPF(base_cpf, self.k)
+
+
+class MixtureFamily(DSHFamily):
+    """Lemma 1.4(b): draw sub-family ``i`` with probability ``p_i``.
+
+    The index of the drawn sub-family is prepended as an extra hash
+    component; both sides of the pair share it, so cross-family collisions
+    are impossible and the CPF is exactly ``sum_i p_i f_i``.
+    """
+
+    def __init__(self, families: Sequence[DSHFamily], weights: Sequence[float]):
+        self.families = list(families)
+        self.weights = np.asarray(weights, dtype=np.float64).ravel()
+        if len(self.families) != self.weights.size or not self.families:
+            raise ValueError("families and weights must be equally sized, non-empty")
+        if np.any(self.weights < 0) or not np.isclose(self.weights.sum(), 1.0, atol=1e-9):
+            raise ValueError(f"weights must form a probability vector, got {weights}")
+
+    def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        rng = ensure_rng(rng)
+        index = int(rng.choice(len(self.families), p=self.weights))
+        inner = self.families[index].sample(rng)
+
+        def h(points: np.ndarray) -> np.ndarray:
+            comps = inner.hash_data(points)
+            tag = np.full((comps.shape[0], 1), index, dtype=np.int64)
+            return np.hstack([tag, comps])
+
+        def g(points: np.ndarray) -> np.ndarray:
+            comps = inner.hash_query(points)
+            tag = np.full((comps.shape[0], 1), index, dtype=np.int64)
+            return np.hstack([tag, comps])
+
+        return HashPair(h=h, g=g, meta={"mixture_index": index, **inner.meta})
+
+    @property
+    def cpf(self) -> CPF | None:
+        return _combined_cpf_or_none(
+            self.families, lambda cpfs: MixtureCPF(cpfs, self.weights)
+        )
+
+    @property
+    def is_symmetric(self) -> bool:
+        return all(fam.is_symmetric for fam in self.families)
+
+
+class TransformedFamily(DSHFamily):
+    """Precompose a family with deterministic data/query point maps.
+
+    Sampling draws ``(h, g)`` from ``base`` and returns
+    ``(h o data_map, g o query_map)``.  With ``data_map = identity`` and
+    ``query_map = negation`` this is exactly the paper's "negate the query
+    point" construction; with the Valiant maps it is Theorem 5.1.
+
+    Parameters
+    ----------
+    base:
+        The underlying family.
+    data_map, query_map:
+        Vectorized maps ``(n, d) -> (n, d')`` applied before hashing.
+    cpf:
+        Analytic CPF of the *transformed* family, if known (the base CPF
+        generally does not survive the transform).
+    """
+
+    def __init__(
+        self,
+        base: DSHFamily,
+        data_map: Callable[[np.ndarray], np.ndarray] | None = None,
+        query_map: Callable[[np.ndarray], np.ndarray] | None = None,
+        cpf: CPF | None = None,
+    ):
+        self.base = base
+        self.data_map = data_map
+        self.query_map = query_map
+        self._cpf = cpf
+
+    def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        inner = self.base.sample(rng)
+        data_map = self.data_map
+        query_map = self.query_map
+
+        def h(points: np.ndarray) -> np.ndarray:
+            pts = np.atleast_2d(np.asarray(points))
+            if data_map is not None:
+                pts = data_map(pts)
+            return as_components(inner.h(pts))
+
+        def g(points: np.ndarray) -> np.ndarray:
+            pts = np.atleast_2d(np.asarray(points))
+            if query_map is not None:
+                pts = query_map(pts)
+            return as_components(inner.g(pts))
+
+        return HashPair(h=h, g=g, meta=inner.meta)
+
+    @property
+    def cpf(self) -> CPF | None:
+        return self._cpf
+
+    @property
+    def is_symmetric(self) -> bool:
+        # Even if the base is symmetric, different point maps break symmetry.
+        return (
+            self.base.is_symmetric
+            and self.data_map is None
+            and self.query_map is None
+        )
+
+
+def negate_queries(base: DSHFamily, cpf: CPF | None = None) -> TransformedFamily:
+    """The paper's anti-LSH trick: hash queries at ``-y`` (Sections 2.1/2.2).
+
+    For a symmetric sphere family with CPF ``f(alpha)`` the result has CPF
+    ``alpha -> f(-alpha)``.
+    """
+    return TransformedFamily(
+        base, query_map=lambda pts: -np.asarray(pts, dtype=np.float64), cpf=cpf
+    )

@@ -1,0 +1,252 @@
+"""Collision probability functions (CPFs).
+
+Definition 1.1 of the paper: a DSH scheme for ``(X, dist)`` is a distribution
+over function pairs ``(h, g)`` whose collision probability
+``Pr[h(x) = g(y)]`` equals ``f(dist(x, y))`` for a CPF ``f : R -> [0, 1]``.
+
+Different constructions parameterize ``f`` by different proximity measures,
+so every :class:`CPF` carries an ``arg_kind``:
+
+* ``"similarity"`` — inner product on the sphere / ``simH`` on the cube,
+  in ``[-1, 1]`` (Sections 2, 3, 5, 6),
+* ``"relative_distance"`` — relative Hamming distance in ``[0, 1]``
+  (Sections 4.1, 5),
+* ``"distance"`` — Euclidean distance in ``[0, inf)`` (Section 4.2).
+
+The classes here are the *analytic* CPFs of the paper's constructions; the
+Monte Carlo estimates produced by :mod:`repro.core.estimate` are compared
+against them throughout the tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "ARG_KINDS",
+    "CPF",
+    "LambdaCPF",
+    "ConstantCPF",
+    "BitSamplingCPF",
+    "AntiBitSamplingCPF",
+    "SimHashCPF",
+    "PolynomialCPF",
+    "ProductCPF",
+    "MixtureCPF",
+    "PowerCPF",
+    "EmpiricalCPF",
+]
+
+ARG_KINDS = ("similarity", "relative_distance", "distance")
+
+
+class CPF:
+    """Base class: a callable ``f`` mapping proximity values to ``[0, 1]``.
+
+    Subclasses implement :meth:`_evaluate`; ``__call__`` handles array
+    conversion and clips tiny numerical overshoots into ``[0, 1]``.
+
+    Parameters
+    ----------
+    arg_kind:
+        One of :data:`ARG_KINDS` — what the argument of ``f`` measures.
+    description:
+        Human-readable formula used in ``repr``.
+    """
+
+    def __init__(self, arg_kind: str, description: str = ""):
+        if arg_kind not in ARG_KINDS:
+            raise ValueError(f"arg_kind must be one of {ARG_KINDS}, got {arg_kind!r}")
+        self.arg_kind = arg_kind
+        self.description = description or type(self).__name__
+
+    def _evaluate(self, values: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, values: float | np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.asarray(self._evaluate(values), dtype=np.float64)
+        if np.any(out < -1e-9) or np.any(out > 1 + 1e-9):
+            bad = out[(out < -1e-9) | (out > 1 + 1e-9)]
+            raise ValueError(
+                f"CPF {self.description!r} produced values outside [0, 1]: "
+                f"e.g. {bad.flat[0]!r} — check parameters/domain"
+            )
+        return np.clip(out, 0.0, 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.description}, arg_kind={self.arg_kind})"
+
+
+class LambdaCPF(CPF):
+    """Wrap an arbitrary vectorized function as a CPF."""
+
+    def __init__(self, func: Callable[[np.ndarray], np.ndarray], arg_kind: str, description: str = "lambda"):
+        super().__init__(arg_kind, description)
+        self._func = func
+
+    def _evaluate(self, values: np.ndarray) -> np.ndarray:
+        return self._func(values)
+
+
+class ConstantCPF(CPF):
+    """``f = p`` regardless of distance — the CPF of the constant-collision
+    family used as a building block in Theorem 5.2's sub-schemes."""
+
+    def __init__(self, p: float, arg_kind: str = "relative_distance"):
+        super().__init__(arg_kind, f"constant {p}")
+        self.p = check_probability(p, "p")
+
+    def _evaluate(self, values: np.ndarray) -> np.ndarray:
+        return np.full_like(values, self.p, dtype=np.float64)
+
+
+class BitSamplingCPF(CPF):
+    """``f(t) = 1 - t`` for relative Hamming distance ``t`` (Section 4.1,
+    bit-sampling of Indyk–Motwani [32])."""
+
+    def __init__(self) -> None:
+        super().__init__("relative_distance", "1 - t")
+
+    def _evaluate(self, values: np.ndarray) -> np.ndarray:
+        return 1.0 - values
+
+
+class AntiBitSamplingCPF(CPF):
+    """``f(t) = t`` for relative Hamming distance ``t`` — the *anti*
+    bit-sampling family ``(x -> x_i, y -> 1 - y_i)`` of Section 4.1."""
+
+    def __init__(self) -> None:
+        super().__init__("relative_distance", "t")
+
+    def _evaluate(self, values: np.ndarray) -> np.ndarray:
+        return values
+
+
+class SimHashCPF(CPF):
+    """``f(alpha) = 1 - arccos(alpha)/pi`` — Charikar's SimHash [17], the
+    canonical *LSHable angular similarity function* of Section 5."""
+
+    def __init__(self) -> None:
+        super().__init__("similarity", "1 - arccos(alpha)/pi")
+
+    def _evaluate(self, values: np.ndarray) -> np.ndarray:
+        return 1.0 - np.arccos(np.clip(values, -1.0, 1.0)) / np.pi
+
+
+class PolynomialCPF(CPF):
+    """``f(t) = P(t) / scale`` for a polynomial given in increasing degree.
+
+    Used both for Theorem 5.1 (``scale = 1`` after normalization, argument
+    is the inner product) and Theorem 5.2 (argument is relative Hamming
+    distance, ``scale = Delta``).
+    """
+
+    def __init__(self, coefficients: Sequence[float], arg_kind: str, scale: float = 1.0):
+        coefficients = np.asarray(coefficients, dtype=np.float64).ravel()
+        if coefficients.size == 0:
+            raise ValueError("polynomial must have at least one coefficient")
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        super().__init__(
+            arg_kind,
+            f"P(t)/{scale:g} with coefficients {coefficients.tolist()}",
+        )
+        self.coefficients = coefficients
+        self.scale = float(scale)
+
+    def _evaluate(self, values: np.ndarray) -> np.ndarray:
+        return np.polyval(self.coefficients[::-1], values) / self.scale
+
+
+class ProductCPF(CPF):
+    """``f = prod_i f_i`` — the CPF of concatenated families (Lemma 1.4(a))."""
+
+    def __init__(self, cpfs: Sequence[CPF]):
+        cpfs = list(cpfs)
+        if not cpfs:
+            raise ValueError("need at least one CPF")
+        kinds = {c.arg_kind for c in cpfs}
+        if len(kinds) != 1:
+            raise ValueError(f"cannot multiply CPFs with mixed arg kinds {kinds}")
+        super().__init__(cpfs[0].arg_kind, " * ".join(c.description for c in cpfs))
+        self.cpfs = cpfs
+
+    def _evaluate(self, values: np.ndarray) -> np.ndarray:
+        out = np.ones_like(values, dtype=np.float64)
+        for c in self.cpfs:
+            out = out * c(values)
+        return out
+
+
+class MixtureCPF(CPF):
+    """``f = sum_i p_i f_i`` — the CPF of mixture families (Lemma 1.4(b)).
+
+    ``weights`` must be a probability vector over the component CPFs.
+    """
+
+    def __init__(self, cpfs: Sequence[CPF], weights: Sequence[float]):
+        cpfs = list(cpfs)
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if len(cpfs) != weights.size or not cpfs:
+            raise ValueError("cpfs and weights must be equally sized and non-empty")
+        if np.any(weights < 0) or not np.isclose(weights.sum(), 1.0, atol=1e-9):
+            raise ValueError(f"weights must be a probability vector, got {weights}")
+        kinds = {c.arg_kind for c in cpfs}
+        if len(kinds) != 1:
+            raise ValueError(f"cannot mix CPFs with mixed arg kinds {kinds}")
+        super().__init__(
+            cpfs[0].arg_kind,
+            " + ".join(f"{w:g}*{c.description}" for w, c in zip(weights, cpfs)),
+        )
+        self.cpfs = cpfs
+        self.weights = weights
+
+    def _evaluate(self, values: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(values, dtype=np.float64)
+        for w, c in zip(self.weights, self.cpfs):
+            out = out + w * c(values)
+        return out
+
+
+class PowerCPF(CPF):
+    """``f = base**k`` — the CPF of ``k``-fold powering (Lemma 1.4(a) applied
+    to ``k`` copies of one family), the standard amplification step."""
+
+    def __init__(self, base: CPF, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        super().__init__(base.arg_kind, f"({base.description})^{k}")
+        self.base = base
+        self.k = int(k)
+
+    def _evaluate(self, values: np.ndarray) -> np.ndarray:
+        return self.base(values) ** self.k
+
+
+class EmpiricalCPF(CPF):
+    """Piecewise-linear interpolation through estimated ``(x, f(x))`` points.
+
+    Useful for constructions without a closed form (e.g. cross-polytope) and
+    for feeding measured CPFs into index parameter selection.
+    """
+
+    def __init__(self, xs: Sequence[float], values: Sequence[float], arg_kind: str):
+        xs = np.asarray(xs, dtype=np.float64).ravel()
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if xs.size != values.size or xs.size < 2:
+            raise ValueError("need >= 2 matching x/value points")
+        if np.any(np.diff(xs) <= 0):
+            raise ValueError("xs must be strictly increasing")
+        for v in values:
+            check_probability(float(v), "empirical CPF value")
+        super().__init__(arg_kind, f"empirical through {xs.size} points")
+        self.xs = xs
+        self.values = values
+
+    def _evaluate(self, values: np.ndarray) -> np.ndarray:
+        return np.interp(values, self.xs, self.values)

@@ -1,0 +1,142 @@
+"""The distance-sensitive family interface (Definition 1.1).
+
+A :class:`DSHFamily` is a distribution over :class:`HashPair` objects
+``(h, g)``: data points are hashed with ``h``, query points with ``g``, and
+the collision event is ``h(x) = g(y)``.  Classical (symmetric) LSH families
+simply return pairs with ``h is g``.
+
+Hash value convention
+---------------------
+``h`` and ``g`` map an ``(n, d)`` array of points to an ``(n, c)`` ``int64``
+array of *hash components*; a collision means equality of **all** ``c``
+components.  Concatenation (Lemma 1.4(a)) stacks component columns, and
+mixtures prefix a component recording which sub-family was drawn.  Indexes
+serialize component rows to bytes for hash-table bucketing.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.cpf import CPF
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+__all__ = [
+    "HashPair",
+    "DSHFamily",
+    "SymmetricFamily",
+    "as_components",
+    "rows_equal",
+    "rows_to_keys",
+]
+
+
+def as_components(values: np.ndarray) -> np.ndarray:
+    """Normalize raw hash output to the canonical ``(n, c)`` int64 layout.
+
+    Accepts ``(n,)`` (single component) or ``(n, c)`` integer arrays.
+    """
+    values = np.asarray(values)
+    if values.ndim == 1:
+        values = values[:, None]
+    if values.ndim != 2:
+        raise ValueError(f"hash values must be 1-D or 2-D, got shape {values.shape}")
+    if not np.issubdtype(values.dtype, np.integer):
+        raise ValueError(f"hash values must be integers, got dtype {values.dtype}")
+    return values.astype(np.int64, copy=False)
+
+
+def rows_equal(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Boolean vector: do the ``i``-th component rows of ``a`` and ``b`` agree?"""
+    a = as_components(a)
+    b = as_components(b)
+    if a.shape != b.shape:
+        raise ValueError(f"component shape mismatch: {a.shape} vs {b.shape}")
+    return np.all(a == b, axis=1)
+
+
+def rows_to_keys(a: np.ndarray) -> list[bytes]:
+    """Serialize each component row to a hashable ``bytes`` key (for dicts)."""
+    a = np.ascontiguousarray(as_components(a))
+    return [row.tobytes() for row in a]
+
+
+@dataclass
+class HashPair:
+    """One sampled pair ``(h, g)`` from a DSH family.
+
+    Attributes
+    ----------
+    h:
+        Data-side hash: ``(n, d) -> (n, c)`` int64 components.
+    g:
+        Query-side hash with the same output layout.
+    meta:
+        Optional construction details (thresholds, sampled coordinates, ...)
+        for debugging and tests.
+    """
+
+    h: Callable[[np.ndarray], np.ndarray]
+    g: Callable[[np.ndarray], np.ndarray]
+    meta: dict = field(default_factory=dict)
+
+    def hash_data(self, points: np.ndarray) -> np.ndarray:
+        """Hash data points; returns canonical ``(n, c)`` components."""
+        return as_components(self.h(np.atleast_2d(np.asarray(points))))
+
+    def hash_query(self, points: np.ndarray) -> np.ndarray:
+        """Hash query points; returns canonical ``(n, c)`` components."""
+        return as_components(self.g(np.atleast_2d(np.asarray(points))))
+
+    def collides(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Row-wise collision indicator ``h(x_i) == g(y_i)``."""
+        return rows_equal(self.hash_data(x), self.hash_query(y))
+
+
+class DSHFamily(ABC):
+    """A distribution over hash pairs with (optionally) a known CPF."""
+
+    @abstractmethod
+    def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        """Draw one ``(h, g)`` pair."""
+
+    def sample_pairs(
+        self, n: int, rng: int | np.random.Generator | None = None
+    ) -> list[HashPair]:
+        """Draw ``n`` independent pairs (reproducibly from one parent seed)."""
+        rng = ensure_rng(rng)
+        return [self.sample(r) for r in spawn_rngs(rng, n)]
+
+    @property
+    def cpf(self) -> CPF | None:
+        """The analytic CPF if known, else ``None``."""
+        return None
+
+    @property
+    def is_symmetric(self) -> bool:
+        """Whether sampled pairs always satisfy ``h == g`` (classical LSH)."""
+        return False
+
+
+class SymmetricFamily(DSHFamily):
+    """Convenience base for classical LSH families: implement
+    :meth:`sample_function` returning a single hash, used for both sides."""
+
+    @abstractmethod
+    def sample_function(
+        self, rng: np.random.Generator
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Draw one hash function ``(n, d) -> (n, c)``."""
+
+    def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        rng = ensure_rng(rng)
+        func = self.sample_function(rng)
+        return HashPair(h=func, g=func)
+
+    @property
+    def is_symmetric(self) -> bool:
+        return True

@@ -1,0 +1,124 @@
+"""Rho-values and sensitivity notions.
+
+The paper measures the quality of a CPF through log-ratios of collision
+probabilities:
+
+* ``rho_plus = ln f(r) / ln f(c r)`` — the classical LSH exponent (collision
+  gap towards *larger* distances; governs near-neighbor search),
+* ``rho_minus = ln f(r) / ln f(r / c)`` — the "dual" exponent (gap towards
+  *smaller* distances; governs anti-LSH applications, Section 4),
+* ``rho_star = log(1 / f(r)) / log n`` — the query exponent of the annulus
+  data structure (Theorem 6.1).
+
+Definition 3.6 introduces ``(alpha_-, alpha_+, f_-, f_+)``-decreasingly /
+increasingly sensitive families; :func:`check_decreasingly_sensitive` and
+:func:`check_increasingly_sensitive` verify those properties on a grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cpf import CPF
+
+__all__ = [
+    "rho_from_probabilities",
+    "rho_plus",
+    "rho_minus",
+    "rho_star",
+    "check_decreasingly_sensitive",
+    "check_increasingly_sensitive",
+]
+
+
+def rho_from_probabilities(p_target: float, p_other: float) -> float:
+    """``ln(1/p_target) / ln(1/p_other)`` with domain checks.
+
+    Both probabilities must lie strictly inside ``(0, 1)``.
+    """
+    for name, p in (("p_target", p_target), ("p_other", p_other)):
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"{name} must lie strictly in (0, 1), got {p}")
+    return float(np.log(1.0 / p_target) / np.log(1.0 / p_other))
+
+
+def rho_plus(cpf: CPF, r: float, c: float) -> float:
+    """``rho_+ = ln f(r) / ln f(c r)`` for a distance-style CPF.
+
+    Requires ``c > 1`` so that ``c r`` is the *far* distance.
+    """
+    if c <= 1:
+        raise ValueError(f"approximation factor c must be > 1, got {c}")
+    return rho_from_probabilities(float(cpf(r)), float(cpf(c * r)))
+
+
+def rho_minus(cpf: CPF, r: float, c: float) -> float:
+    """``rho_- = ln f(r) / ln f(r / c)`` for a distance-style CPF.
+
+    Requires ``c > 1`` so that ``r / c`` is the *near* distance.  Smaller is
+    better: it measures how fast the CPF vanishes towards distance 0
+    relative to its value at ``r`` (Section 4).
+    """
+    if c <= 1:
+        raise ValueError(f"approximation factor c must be > 1, got {c}")
+    return rho_from_probabilities(float(cpf(r)), float(cpf(r / c)))
+
+
+def rho_star(p_at_target: float, n: int) -> float:
+    """``rho* = log(1 / f(r)) / log n`` — Theorem 6.1's query exponent."""
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if not 0.0 < p_at_target < 1.0:
+        raise ValueError(f"p_at_target must lie in (0, 1), got {p_at_target}")
+    return float(np.log(1.0 / p_at_target) / np.log(n))
+
+
+def _grid(lo: float, hi: float, n: int) -> np.ndarray:
+    return np.linspace(lo, hi, n)
+
+
+def check_decreasingly_sensitive(
+    cpf: CPF,
+    alpha_minus: float,
+    alpha_plus: float,
+    f_minus: float,
+    f_plus: float,
+    grid_points: int = 64,
+    domain: tuple[float, float] = (-1.0, 1.0),
+) -> bool:
+    """Definition 3.6: is the family ``(a_-, a_+, f_-, f_+)``-decreasingly
+    sensitive?
+
+    Checks on a grid that ``f(alpha) >= f_-`` for every ``alpha <= a_-`` and
+    ``f(alpha) <= f_+`` for every ``alpha >= a_+`` (similarity convention:
+    the CPF is decreasing in the similarity).
+    """
+    if not domain[0] <= alpha_minus < alpha_plus <= domain[1]:
+        raise ValueError(
+            f"need {domain[0]} <= alpha_- < alpha_+ <= {domain[1]}, "
+            f"got {alpha_minus}, {alpha_plus}"
+        )
+    low_side = cpf(_grid(domain[0], alpha_minus, grid_points))
+    high_side = cpf(_grid(alpha_plus, domain[1], grid_points))
+    return bool(np.all(low_side >= f_minus) and np.all(high_side <= f_plus))
+
+
+def check_increasingly_sensitive(
+    cpf: CPF,
+    alpha_minus: float,
+    alpha_plus: float,
+    f_minus: float,
+    f_plus: float,
+    grid_points: int = 64,
+    domain: tuple[float, float] = (-1.0, 1.0),
+) -> bool:
+    """Definition 3.6, increasing direction: ``f(alpha) <= f_-`` below
+    ``alpha_-`` and ``f(alpha) >= f_+`` above ``alpha_+``."""
+    if not domain[0] <= alpha_minus < alpha_plus <= domain[1]:
+        raise ValueError(
+            f"need {domain[0]} <= alpha_- < alpha_+ <= {domain[1]}, "
+            f"got {alpha_minus}, {alpha_plus}"
+        )
+    low_side = cpf(_grid(domain[0], alpha_minus, grid_points))
+    high_side = cpf(_grid(alpha_plus, domain[1], grid_points))
+    return bool(np.all(low_side <= f_minus) and np.all(high_side >= f_plus))

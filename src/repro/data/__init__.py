@@ -1,0 +1,13 @@
+"""Synthetic workload generators for the examples and benchmarks."""
+
+from repro.data.synthetic import (
+    clustered_unit_vectors,
+    planted_euclidean_range,
+    planted_sphere_annulus,
+)
+
+__all__ = [
+    "planted_sphere_annulus",
+    "planted_euclidean_range",
+    "clustered_unit_vectors",
+]

@@ -1,0 +1,184 @@
+"""Synthetic workloads matching the paper's problem settings.
+
+The paper evaluates nothing on real datasets (it is a theory paper), but
+its motivating scenarios — recommender diversity, annulus queries, range
+reporting — dictate what a faithful workload looks like: planted points at
+controlled proximity inside a sea of near-orthogonal distractors (the
+random high-dimensional regime in which the theorems' guarantees bind).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spaces import euclidean, sphere
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "PlantedAnnulusInstance",
+    "planted_sphere_annulus",
+    "PlantedRangeInstance",
+    "planted_euclidean_range",
+    "clustered_unit_vectors",
+]
+
+
+@dataclass(frozen=True)
+class PlantedAnnulusInstance:
+    """A sphere annulus-search instance.
+
+    Attributes
+    ----------
+    points:
+        Unit vectors ``(n, d)``; row ``planted_index`` is the planted point.
+    query:
+        Unit query vector ``(d,)``.
+    planted_index:
+        Index of the point planted at inner product ``planted_alpha``.
+    planted_alpha:
+        Inner product between query and planted point.
+    """
+
+    points: np.ndarray
+    query: np.ndarray
+    planted_index: int
+    planted_alpha: float
+
+
+def planted_sphere_annulus(
+    n: int,
+    d: int,
+    alpha_interval: tuple[float, float],
+    rng: int | np.random.Generator | None = None,
+) -> PlantedAnnulusInstance:
+    """Uniform sphere points plus one planted inside the query's annulus.
+
+    The distractors are uniform, so their inner products with the query
+    concentrate in ``+-O(1/sqrt(d))``; choosing an annulus away from 0
+    makes the planted point the (essentially) unique valid answer.
+    """
+    lo, hi = alpha_interval
+    if not -1.0 < lo < hi < 1.0:
+        raise ValueError(f"need -1 < lo < hi < 1, got {alpha_interval}")
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    rng = ensure_rng(rng)
+    points = sphere.random_points(n, d, rng)
+    query = sphere.random_points(1, d, rng)
+    alpha = float(rng.uniform(lo, hi))
+    x, y = sphere.pairs_at_inner_product(1, d, alpha, rng)
+    # Rotate so x coincides with the query, carrying y along: equivalently,
+    # resample the planted point directly against the query direction.
+    u = sphere.orthogonal_to(query, rng)
+    planted = alpha * query + np.sqrt(max(0.0, 1 - alpha**2)) * u
+    planted_index = int(rng.integers(0, n))
+    points[planted_index] = planted[0]
+    return PlantedAnnulusInstance(
+        points=points,
+        query=query[0],
+        planted_index=planted_index,
+        planted_alpha=alpha,
+    )
+
+
+@dataclass(frozen=True)
+class PlantedRangeInstance:
+    """A Euclidean range-reporting instance.
+
+    Attributes
+    ----------
+    points:
+        Data set ``(n, d)``.
+    query:
+        Query point ``(d,)``.
+    near_indices:
+        Indices of the points planted within ``radius`` of the query.
+    """
+
+    points: np.ndarray
+    query: np.ndarray
+    near_indices: frozenset[int]
+
+
+def planted_euclidean_range(
+    n: int,
+    d: int,
+    radius: float,
+    n_near: int,
+    far_factor: float = 3.0,
+    rng: int | np.random.Generator | None = None,
+) -> PlantedRangeInstance:
+    """``n_near`` points planted within ``radius`` of a query, the rest at
+    distance ``>= far_factor * radius``.
+
+    Near points are uniform over distances ``[0, radius]`` from the query
+    (so the range-reporting index must find close *and* boundary points);
+    far points are an isotropic Gaussian cloud centered ``2 far_factor
+    radius`` away, rejection-filtered to respect the margin.
+    """
+    check_positive(radius, "radius")
+    if not 0 <= n_near <= n:
+        raise ValueError(f"n_near must lie in [0, {n}], got {n_near}")
+    if far_factor <= 1.0:
+        raise ValueError(f"far_factor must be > 1, got {far_factor}")
+    rng = ensure_rng(rng)
+    query = euclidean.random_points(1, d, rng)[0]
+    rows = []
+    for _ in range(n_near):
+        dist = float(rng.uniform(0.0, radius))
+        rows.append(euclidean.translate_at_distance(query[None, :], dist, rng)[0])
+    center = euclidean.translate_at_distance(
+        query[None, :], 2.0 * far_factor * radius, rng
+    )[0]
+    while len(rows) < n:
+        batch = center + radius * rng.standard_normal((n, d))
+        dists = np.linalg.norm(batch - query, axis=1)
+        for row in batch[dists >= far_factor * radius]:
+            rows.append(row)
+            if len(rows) == n:
+                break
+    points = np.vstack(rows)
+    order = rng.permutation(n)
+    points = points[order]
+    near = frozenset(int(np.flatnonzero(order == i)[0]) for i in range(n_near))
+    return PlantedRangeInstance(points=points, query=query, near_indices=near)
+
+
+def clustered_unit_vectors(
+    n_clusters: int,
+    per_cluster: int,
+    d: int,
+    concentration: float = 5.0,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Topic-cluster unit vectors for the recommender scenario (Section 1).
+
+    Points are ``normalize(concentration * center + noise)`` with standard
+    Gaussian noise — a von-Mises–Fisher-like cloud per cluster.  The
+    expected inner product with the cluster center is approximately
+    ``concentration / sqrt(concentration^2 + d)``, and between two points
+    of the same cluster approximately ``concentration^2 /
+    (concentration^2 + d)``; choose ``concentration ~ sqrt(d)`` for
+    moderately diffuse topics.
+
+    Returns
+    -------
+    (points, labels, centers)
+        ``(n_clusters * per_cluster, d)`` unit vectors, integer cluster
+        labels, and the ``(n_clusters, d)`` unit centers.
+    """
+    if n_clusters < 1 or per_cluster < 1:
+        raise ValueError("n_clusters and per_cluster must be >= 1")
+    check_positive(concentration, "concentration")
+    rng = ensure_rng(rng)
+    centers = sphere.random_points(n_clusters, d, rng)
+    points = []
+    labels = []
+    for label, center in enumerate(centers):
+        noise = rng.standard_normal((per_cluster, d))
+        points.append(sphere.normalize(concentration * center[None, :] + noise))
+        labels.extend([label] * per_cluster)
+    return np.vstack(points), np.asarray(labels), centers

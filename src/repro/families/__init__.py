@@ -1,0 +1,78 @@
+"""Concrete DSH families from the paper.
+
+* :mod:`repro.families.bit_sampling` — bit-sampling, anti bit-sampling and
+  their scaled/biased variants (Sections 4.1 and 5 / Theorem 5.2 blocks).
+* :mod:`repro.families.simhash` — Charikar's SimHash (Section 5).
+* :mod:`repro.families.cross_polytope` — cross-polytope LSH and its negated
+  DSH (Section 2.1, Theorem 2.1 / Corollary 2.2).
+* :mod:`repro.families.filters` — Gaussian filter families D+/D-
+  (Section 2.2, Theorem 1.2, Appendix A.1).
+* :mod:`repro.families.euclidean_lsh` — shifted random-projection family in
+  Euclidean space (Section 4.2, equation (2), Theorem 4.1, Figure 1).
+* :mod:`repro.families.polynomial_hamming` — polynomial CPFs in Hamming
+  space via root factorization (Theorem 5.2, Appendix C.3).
+* :mod:`repro.families.valiant` — polynomial CPFs on the sphere via
+  asymmetric embeddings (Theorem 5.1, Appendix C.2, Figure 4).
+* :mod:`repro.families.annulus_sphere` — the unimodal annulus family
+  D = D+ (x) D- (Section 6.2, Theorem 6.2, Figure 3).
+* :mod:`repro.families.step` — step-function CPFs from mixtures
+  (Figure 2, Sections 6.3-6.4).
+"""
+
+from repro.families.annulus_sphere import AnnulusFamily, annulus_interval, theorem64_rho
+from repro.families.bit_sampling import (
+    AntiBitSampling,
+    BitSampling,
+    ConstantCollisionFamily,
+    scaled_anti_bit_sampling,
+    scaled_bit_sampling,
+)
+from repro.families.cross_polytope import (
+    CrossPolytope,
+    FastCrossPolytope,
+    negated_cross_polytope,
+)
+from repro.families.euclidean_lsh import (
+    ShiftedEuclideanCPF,
+    ShiftedGaussianProjection,
+    shifted_collision_probability,
+)
+from repro.families.filters import GaussianFilterCPF, GaussianFilterFamily
+from repro.families.hamming_annulus import (
+    HammingAnnulusFamily,
+    hamming_annulus_cpf,
+)
+from repro.families.polynomial_hamming import (
+    build_polynomial_family,
+    mixture_polynomial_family,
+)
+from repro.families.simhash import SimHash
+from repro.families.step import design_step_family
+from repro.families.valiant import PolynomialSphereFamily, polynomial_sphere_cpf
+
+__all__ = [
+    "BitSampling",
+    "AntiBitSampling",
+    "ConstantCollisionFamily",
+    "scaled_bit_sampling",
+    "scaled_anti_bit_sampling",
+    "SimHash",
+    "CrossPolytope",
+    "FastCrossPolytope",
+    "negated_cross_polytope",
+    "GaussianFilterFamily",
+    "GaussianFilterCPF",
+    "HammingAnnulusFamily",
+    "hamming_annulus_cpf",
+    "ShiftedGaussianProjection",
+    "ShiftedEuclideanCPF",
+    "shifted_collision_probability",
+    "build_polynomial_family",
+    "mixture_polynomial_family",
+    "PolynomialSphereFamily",
+    "polynomial_sphere_cpf",
+    "AnnulusFamily",
+    "annulus_interval",
+    "theorem64_rho",
+    "design_step_family",
+]

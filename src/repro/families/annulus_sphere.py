@@ -1,0 +1,160 @@
+"""The unimodal annulus family on the sphere (Section 6.2, Theorem 6.2).
+
+Combine an increasing filter family ``D+`` (threshold ``t_+``) with a
+decreasing one ``D-`` (threshold ``t_-``) by concatenation:
+``h(x) = (h_+(x), h_-(x))``, ``g(y) = (g_+(y), g_-(y))``.  Ignoring lower
+order terms the combined CPF satisfies
+
+    ln(1/f(alpha)) ~ (1-alpha)/(1+alpha) t_+^2/2 + (1+alpha)/(1-alpha) t_-^2/2,
+
+which — writing ``a(alpha) = (1-alpha)/(1+alpha)`` and ``gamma = t_-/t_+``
+— is minimized (CPF maximized) at ``a = gamma``.  Choosing
+``gamma = a(alpha_max)`` therefore peaks the CPF at the target inner
+product ``alpha_max``; Theorem 6.2 then bounds ``f`` inside and outside the
+annulus ``[alpha_-, alpha_+]`` defined by
+
+    (1/s) a(alpha_max) <= a(alpha) <= s a(alpha_max)        (s > 1),
+
+which is what Figure 3 plots for ``s = 2, 3, 4``.  Theorem 6.4 converts the
+resulting gap into a data-structure exponent
+``rho = (c_a + 1/c_a) / (c_b + 1/c_b)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.combinators import ConcatenatedFamily
+from repro.core.cpf import CPF, ProductCPF
+from repro.core.family import DSHFamily
+from repro.families.filters import GaussianFilterCPF, GaussianFilterFamily
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_in_open_interval, check_positive
+
+__all__ = [
+    "similarity_to_a",
+    "a_to_similarity",
+    "annulus_interval",
+    "AnnulusFamily",
+    "theorem64_rho",
+]
+
+
+def similarity_to_a(alpha: float | np.ndarray) -> float | np.ndarray:
+    """``a(alpha) = (1 - alpha)/(1 + alpha)``, the reparameterization in
+    which the Theorem 6.2 annuli are geometric intervals."""
+    alpha = np.asarray(alpha, dtype=np.float64)
+    if np.any(alpha <= -1.0) or np.any(alpha >= 1.0):
+        raise ValueError("alpha must lie in (-1, 1)")
+    out = (1.0 - alpha) / (1.0 + alpha)
+    return out if out.ndim else float(out)
+
+
+def a_to_similarity(a: float | np.ndarray) -> float | np.ndarray:
+    """Inverse of :func:`similarity_to_a`: ``alpha = (1 - a)/(1 + a)``."""
+    a = np.asarray(a, dtype=np.float64)
+    if np.any(a <= 0):
+        raise ValueError("a must be positive")
+    out = (1.0 - a) / (1.0 + a)
+    return out if out.ndim else float(out)
+
+
+def annulus_interval(alpha_max: float, s: float) -> tuple[float, float]:
+    """The Theorem 6.2 annulus ``[alpha_-, alpha_+]`` around ``alpha_max``.
+
+    Contains every ``alpha`` with
+    ``(1/s) a(alpha_max) <= a(alpha) <= s a(alpha_max)``; since ``a`` is
+    decreasing, ``alpha_-`` corresponds to ``s a(alpha_max)`` and
+    ``alpha_+`` to ``a(alpha_max)/s``.  This is the exact content of
+    Figure 3.
+    """
+    check_in_open_interval(alpha_max, -1.0, 1.0, "alpha_max")
+    if s <= 1:
+        raise ValueError(f"s must be > 1, got {s}")
+    a_max = similarity_to_a(alpha_max)
+    alpha_minus = a_to_similarity(s * a_max)
+    alpha_plus = a_to_similarity(a_max / s)
+    return float(alpha_minus), float(alpha_plus)
+
+
+class AnnulusFamily(DSHFamily):
+    """The combined family ``D = D+ (x) D-`` peaking at ``alpha_max``.
+
+    Parameters
+    ----------
+    d:
+        Ambient dimension.
+    alpha_max:
+        Inner product in ``(-1, 1)`` at which the CPF should peak.
+    t:
+        The ``t_+`` threshold; ``t_- = a(alpha_max) * t_+`` per the
+        Section 6.2 parameterization.  Larger ``t`` sharpens the peak (and
+        increases evaluation cost as ``e^{t^2/2}``).
+    m_plus, m_minus:
+        Optional projection-count overrides for the two parts.
+    """
+
+    def __init__(
+        self,
+        d: int,
+        alpha_max: float,
+        t: float,
+        m_plus: int | None = None,
+        m_minus: int | None = None,
+    ):
+        check_in_open_interval(alpha_max, -1.0, 1.0, "alpha_max")
+        check_positive(t, "t")
+        self.d = int(d)
+        self.alpha_max = float(alpha_max)
+        self.t_plus = float(t)
+        self.t_minus = float(similarity_to_a(alpha_max) * t)
+        self.plus = GaussianFilterFamily(d, self.t_plus, m=m_plus, negated=False)
+        self.minus = GaussianFilterFamily(d, self.t_minus, m=m_minus, negated=True)
+        self._inner = ConcatenatedFamily([self.plus, self.minus])
+
+    def sample(self, rng: int | np.random.Generator | None = None):
+        return self._inner.sample(ensure_rng(rng))
+
+    @property
+    def cpf(self) -> CPF:
+        return ProductCPF(
+            [
+                GaussianFilterCPF(self.t_plus, self.plus.m, negated=False),
+                GaussianFilterCPF(self.t_minus, self.minus.m, negated=True),
+            ]
+        )
+
+    def interval(self, s: float) -> tuple[float, float]:
+        """The annulus ``[alpha_-, alpha_+]`` of Theorem 6.2 for this peak."""
+        return annulus_interval(self.alpha_max, s)
+
+    def theoretical_log_inv_cpf(self, alpha: float | np.ndarray) -> np.ndarray:
+        """Leading term ``a(alpha) t_+^2/2 + (1/a(alpha)) t_-^2/2`` of
+        ``ln(1/f(alpha))`` (Section 6.2 display equation)."""
+        a = np.asarray(similarity_to_a(alpha), dtype=np.float64)
+        return a * self.t_plus**2 / 2.0 + (1.0 / a) * self.t_minus**2 / 2.0
+
+
+def theorem64_rho(
+    alpha_minus: float, alpha_plus: float, beta_minus: float, beta_plus: float
+) -> float:
+    """The query exponent of Theorem 6.4.
+
+    For ``-1 < beta_- < alpha_- < alpha_+ < beta_+ < 1`` (with the balance
+    condition of the theorem),
+
+        rho = (c_a + 1/c_a) / (c_b + 1/c_b),
+
+    where ``c_a = sqrt(a(alpha_-)/a(alpha_+))`` and
+    ``c_b = sqrt(a(beta_-)/a(beta_+))``.
+    """
+    if not -1.0 < beta_minus < alpha_minus < alpha_plus < beta_plus < 1.0:
+        raise ValueError(
+            "need -1 < beta_- < alpha_- < alpha_+ < beta_+ < 1, got "
+            f"{beta_minus}, {alpha_minus}, {alpha_plus}, {beta_plus}"
+        )
+    c_alpha = float(np.sqrt(similarity_to_a(alpha_minus) / similarity_to_a(alpha_plus)))
+    c_beta = float(np.sqrt(similarity_to_a(beta_minus) / similarity_to_a(beta_plus)))
+    # The ordering check already forces c_beta > c_alpha >= 1, so the ratio
+    # below is a genuine exponent < 1.
+    return (c_alpha + 1.0 / c_alpha) / (c_beta + 1.0 / c_beta)

@@ -1,0 +1,190 @@
+"""Cross-polytope LSH and its negated-query DSH (Section 2.1).
+
+Andoni et al. [8]: sample a random Gaussian matrix ``A``, rotate the point,
+and hash to the closest signed standard basis vector ``+-e_i`` — i.e. to
+``(argmax_i |(Ax)_i|, sign)``.  Theorem 2.1 gives the CPF asymptotics
+
+    ln(1/f(alpha)) = (1 - alpha)/(1 + alpha) * ln d + O_alpha(ln ln d),
+
+and negating the query point (family ``CP-``, Corollary 2.2) swaps
+``alpha -> -alpha``, turning the increasing CPF into a decreasing one.
+
+There is no closed form for the exact CPF; :func:`collision_probability`
+estimates it cheaply in the rotated 2-D Gaussian space (no matrix products,
+no hashing), and :func:`asymptotic_log_inv_cpf` evaluates the Theorem 2.1
+prediction.  A fast pseudo-rotation variant (three Hadamard-diagonal
+rounds, as used in practice by [8]) is provided for large ``d``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.booleancube.walsh import walsh_hadamard_transform
+from repro.core.combinators import TransformedFamily, negate_queries
+from repro.core.family import SymmetricFamily
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_in_open_interval
+
+__all__ = [
+    "CrossPolytope",
+    "FastCrossPolytope",
+    "negated_cross_polytope",
+    "collision_probability",
+    "asymptotic_log_inv_cpf",
+]
+
+
+def _closest_polytope_vertex(rotated: np.ndarray) -> np.ndarray:
+    """Hash each row to ``2 * argmax_i |u_i| + [u_argmax > 0]``."""
+    idx = np.argmax(np.abs(rotated), axis=1)
+    signs = rotated[np.arange(rotated.shape[0]), idx] > 0
+    return (2 * idx + signs).astype(np.int64)
+
+
+class CrossPolytope(SymmetricFamily):
+    """The symmetric cross-polytope LSH ``CP+`` with a dense Gaussian rotation.
+
+    Parameters
+    ----------
+    d:
+        Ambient dimension (points live on ``S^{d-1}``; only directions
+        matter to the hash).
+    """
+
+    def __init__(self, d: int):
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self.d = int(d)
+
+    def sample_function(self, rng: np.random.Generator):
+        rng = ensure_rng(rng)
+        matrix = rng.standard_normal((self.d, self.d))
+
+        def func(points: np.ndarray) -> np.ndarray:
+            pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+            if pts.shape[1] != self.d:
+                raise ValueError(f"expected dimension {self.d}, got {pts.shape[1]}")
+            return _closest_polytope_vertex(pts @ matrix.T)
+
+        return func
+
+
+class FastCrossPolytope(SymmetricFamily):
+    """Cross-polytope LSH with the ``H D_3 H D_2 H D_1`` pseudo-rotation.
+
+    Replaces the dense Gaussian matrix by three rounds of random-sign
+    diagonal + normalized Hadamard transforms — ``O(d log d)`` per point
+    instead of ``O(d^2)`` ([8], Section "Practical variants").  Requires
+    the input dimension to be padded to a power of two internally.
+
+    Parameters
+    ----------
+    d:
+        Input dimension (any positive integer; points are zero-padded to
+        the next power of two).
+    """
+
+    def __init__(self, d: int):
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self.d = int(d)
+        self.padded = 1
+        while self.padded < d:
+            self.padded *= 2
+
+    def sample_function(self, rng: np.random.Generator):
+        rng = ensure_rng(rng)
+        diagonals = rng.choice(np.array([-1.0, 1.0]), size=(3, self.padded))
+        scale = 1.0 / np.sqrt(self.padded)
+
+        def func(points: np.ndarray) -> np.ndarray:
+            pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+            if pts.shape[1] != self.d:
+                raise ValueError(f"expected dimension {self.d}, got {pts.shape[1]}")
+            if self.padded != self.d:
+                pad = np.zeros((pts.shape[0], self.padded - self.d))
+                pts = np.hstack([pts, pad])
+            out = pts
+            for diag in diagonals:
+                out = walsh_hadamard_transform(out * diag) * scale
+            return _closest_polytope_vertex(out)
+
+        return func
+
+
+def negated_cross_polytope(d: int, fast: bool = False) -> TransformedFamily:
+    """The DSH family ``CP-`` of Corollary 2.2: hash queries at ``-y``.
+
+    Its CPF is decreasing in the inner product:
+    ``ln(1/f(alpha)) = (1+alpha)/(1-alpha) ln d + O(ln ln d)``.
+    """
+    base = FastCrossPolytope(d) if fast else CrossPolytope(d)
+    return negate_queries(base)
+
+
+def collision_probability(
+    alpha: float,
+    d: int,
+    negated: bool = False,
+    n_samples: int = 200_000,
+    rng: int | np.random.Generator | None = None,
+) -> float:
+    """Estimate the exact cross-polytope CPF at inner product ``alpha``.
+
+    Works in the rotated space: the rotated coordinates of a pair with
+    inner product ``alpha`` are ``d`` i.i.d. bivariate standard normal
+    pairs with correlation ``alpha``, so the collision event
+    (same ``argmax |.|`` index and matching sign) can be simulated without
+    any matrix products.  This makes Theorem 2.1 benchmarks cheap even for
+    large ``d``.
+
+    Parameters
+    ----------
+    alpha:
+        Inner product in ``(-1, 1)``.
+    d:
+        Dimension.
+    negated:
+        If true, estimate the ``CP-`` CPF (equivalent to ``alpha -> -alpha``).
+    n_samples:
+        Monte Carlo sample count.
+    rng:
+        Seed or generator.
+    """
+    check_in_open_interval(alpha, -1.0, 1.0, "alpha")
+    if negated:
+        alpha = -alpha
+    rng = ensure_rng(rng)
+    hits = 0
+    total = 0
+    batch = max(1, min(n_samples, 50_000_000 // max(d, 1)))
+    remaining = n_samples
+    while remaining > 0:
+        m = min(batch, remaining)
+        u = rng.standard_normal((m, d))
+        v = alpha * u + np.sqrt(1 - alpha**2) * rng.standard_normal((m, d))
+        iu = np.argmax(np.abs(u), axis=1)
+        iv = np.argmax(np.abs(v), axis=1)
+        same_index = iu == iv
+        su = u[np.arange(m), iu] > 0
+        sv = v[np.arange(m), iv] > 0
+        hits += int(np.count_nonzero(same_index & (su == sv)))
+        total += m
+        remaining -= m
+    return hits / total
+
+
+def asymptotic_log_inv_cpf(alpha: float, d: int, negated: bool = False) -> float:
+    """Theorem 2.1 / Corollary 2.2 leading term of ``ln(1/f(alpha))``.
+
+    ``(1 -+ alpha)/(1 +- alpha) * ln d`` — the ``O_alpha(ln ln d)`` term is
+    dropped, so this is the *shape* prediction that the benchmark compares
+    slopes against.
+    """
+    check_in_open_interval(alpha, -1.0, 1.0, "alpha")
+    if d < 2:
+        raise ValueError(f"d must be >= 2, got {d}")
+    if negated:
+        alpha = -alpha
+    return (1 - alpha) / (1 + alpha) * float(np.log(d))

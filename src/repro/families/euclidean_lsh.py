@@ -1,0 +1,208 @@
+"""Euclidean DSH via shifted random-projection buckets (Section 4.2).
+
+Equation (2) of the paper extends the classical p-stable LSH of Datar et
+al. [23] with a bucket shift ``k``:
+
+    h(x) = floor((<a, x> + b) / w),      g(y) = floor((<a, y> + b) / w) + k,
+
+with ``a ~ N(0, I_d)`` Gaussian and ``b ~ U[0, w)``.  A collision
+``h(x) = g(y)`` requires the projected difference ``s = <a, x - y>``
+(distributed ``N(0, Delta^2)`` at distance ``Delta``) to land near ``k w``;
+averaging over ``b`` gives the triangular window
+
+    f(Delta) = E_s[ max(0, 1 - |s - k w| / w) ],
+
+which has the closed form implemented by :func:`shifted_collision_probability`
+(derived with standard Gaussian integrals; equals Datar et al.'s formula at
+``k = 0``).  For ``k >= 1`` the CPF is *unimodal* — zero at distance 0,
+peaked where ``N(0, Delta^2)`` puts the most mass near ``k w``, and slowly
+decaying for large ``Delta`` — exactly Figure 1 (``k = 3, w = 1``).
+
+Theorem 4.1: with ``w = w(c) <= sqrt(2 pi) / (2 c)`` and growing ``k``,
+
+    rho_- = ln(1/f(r)) / ln(1/f(r/c)) = (1/c^2) (1 + O(1/k)),
+
+a near-optimal collision gap towards small distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.core.cpf import CPF
+from repro.core.family import DSHFamily, HashPair
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "shifted_collision_probability",
+    "log_shifted_collision_probability",
+    "ShiftedEuclideanCPF",
+    "ShiftedGaussianProjection",
+    "theorem41_w",
+    "theorem41_rho_minus",
+]
+
+
+def shifted_collision_probability(
+    delta: float | np.ndarray, k: int, w: float
+) -> float | np.ndarray:
+    """Closed-form CPF of the equation-(2) family at distance ``delta``.
+
+    ``f(Delta) = int phi_Delta(s) max(0, 1 - |s - k w|/w) ds`` with
+    ``phi_Delta`` the ``N(0, Delta^2)`` density.  Vectorized over ``delta``.
+
+    At ``Delta = 0`` the value is ``1`` for ``k = 0`` and ``0`` otherwise
+    (coinciding points always share a bucket, and can never be ``k`` apart).
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    check_positive(w, "w")
+    delta_arr = np.atleast_1d(np.asarray(delta, dtype=np.float64))
+    if np.any(delta_arr < 0):
+        raise ValueError("distances must be non-negative")
+    out = np.empty_like(delta_arr)
+    center = k * w
+    zero_mask = delta_arr == 0.0
+    out[zero_mask] = 1.0 if k == 0 else 0.0
+    sigma = delta_arr[~zero_mask]
+    if sigma.size:
+        lo, mid, hi = center - w, center, center + w
+        cdf = lambda v: norm.cdf(v / sigma)  # noqa: E731
+        pdf = lambda v: norm.pdf(v / sigma)  # noqa: E731
+        left = (1.0 - center / w) * (cdf(mid) - cdf(lo)) + (sigma / w) * (
+            pdf(lo) - pdf(mid)
+        )
+        right = (1.0 + center / w) * (cdf(hi) - cdf(mid)) - (sigma / w) * (
+            pdf(mid) - pdf(hi)
+        )
+        out[~zero_mask] = left + right
+    result = np.clip(out, 0.0, 1.0)
+    return result if np.ndim(delta) else float(result[0])
+
+
+def log_shifted_collision_probability(delta: float, k: int, w: float) -> float:
+    """``ln f(Delta)`` for the equation-(2) family, stable in the far tail.
+
+    The Theorem 4.1 regime pushes the triangular window ``[k w - w, k w + w]``
+    deep into the tail of ``N(0, Delta^2)`` where the closed form underflows
+    (``f`` can be ``e^{-800}``).  This evaluates
+
+        ln f = M + ln( int exp(-s^2/(2 Delta^2) - M) tri(s) ds / (sqrt(2 pi) Delta) )
+
+    with ``M`` the maximum exponent over the window, by trapezoidal
+    integration on a fine grid — accurate to ~1e-6 in ``ln f``, which is
+    ample for rho ratios.
+    """
+    if k < 1:
+        raise ValueError(f"log-space evaluation requires k >= 1, got {k}")
+    check_positive(w, "w")
+    check_positive(delta, "delta")
+    lo, hi = (k - 1) * w, (k + 1) * w
+    grid = np.linspace(lo, hi, 8001)
+    exponent = -(grid**2) / (2.0 * delta**2)
+    m = float(exponent.max())
+    tri = 1.0 - np.abs(grid - k * w) / w
+    integrand = np.exp(exponent - m) * tri
+    integral = float(np.trapezoid(integrand, grid))
+    if integral <= 0.0:
+        raise ValueError(f"vanishing collision probability at delta={delta}")
+    return m + np.log(integral) - 0.5 * np.log(2 * np.pi) - np.log(delta)
+
+
+class ShiftedEuclideanCPF(CPF):
+    """Analytic CPF of :class:`ShiftedGaussianProjection` (distance arg)."""
+
+    def __init__(self, k: int, w: float):
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        check_positive(w, "w")
+        super().__init__("distance", f"shifted Euclidean (k={k}, w={w:g})")
+        self.k = int(k)
+        self.w = float(w)
+
+    def _evaluate(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(shifted_collision_probability(values, self.k, self.w))
+
+
+class ShiftedGaussianProjection(DSHFamily):
+    """The equation-(2) family ``R_{k,w}``.
+
+    Parameters
+    ----------
+    d:
+        Ambient dimension.
+    w:
+        Bucket width ``w > 0``.
+    k:
+        Bucket shift; ``k = 0`` recovers the symmetric LSH of Datar et
+        al. [23], ``k >= 1`` gives the unimodal anti-LSH of Figure 1.
+    """
+
+    def __init__(self, d: int, w: float, k: int = 0):
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        check_positive(w, "w")
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self.d = int(d)
+        self.w = float(w)
+        self.k = int(k)
+
+    def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        rng = ensure_rng(rng)
+        a = rng.standard_normal(self.d)
+        b = float(rng.uniform(0.0, self.w))
+        w, k, d = self.w, self.k, self.d
+
+        def bucket(points: np.ndarray) -> np.ndarray:
+            pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+            if pts.shape[1] != d:
+                raise ValueError(f"expected dimension {d}, got {pts.shape[1]}")
+            return np.floor((pts @ a + b) / w).astype(np.int64)
+
+        return HashPair(
+            h=bucket,
+            g=lambda points: bucket(points) + k,
+            meta={"b": b, "w": w, "k": k},
+        )
+
+    @property
+    def cpf(self) -> CPF:
+        return ShiftedEuclideanCPF(self.k, self.w)
+
+    @property
+    def is_symmetric(self) -> bool:
+        return self.k == 0
+
+
+def theorem41_w(c: float) -> float:
+    """The bucket width ``w(c) = sqrt(2 pi) / (2 c)`` used in the proof of
+    Theorem 4.1 (any ``w <= sqrt(2 pi)/(2 c)`` works; this is the largest)."""
+    if c <= 1:
+        raise ValueError(f"approximation factor c must be > 1, got {c}")
+    return float(np.sqrt(2 * np.pi) / (2 * c))
+
+
+def theorem41_rho_minus(k: int, c: float, w: float | None = None, r: float = 1.0) -> float:
+    """``rho_- = ln(1/f(r)) / ln(1/f(r/c))`` for the family ``R_{k,w}``.
+
+    Theorem 4.1 predicts ``rho_- * c^2 -> 1`` as ``k`` grows (at rate
+    ``O(1/k)``); the benchmark sweeps ``k`` to exhibit exactly that.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1 for an anti-LSH gap, got {k}")
+    if c <= 1:
+        raise ValueError(f"approximation factor c must be > 1, got {c}")
+    check_positive(r, "r")
+    if w is None:
+        w = theorem41_w(c) * r
+    log_f_r = log_shifted_collision_probability(r, k, w)
+    log_f_near = log_shifted_collision_probability(r / c, k, w)
+    if log_f_r >= 0.0 or log_f_near >= 0.0:
+        raise ValueError(
+            f"degenerate collision probabilities ln f(r)={log_f_r}, "
+            f"ln f(r/c)={log_f_near}; increase k or adjust w"
+        )
+    return float(log_f_r / log_f_near)

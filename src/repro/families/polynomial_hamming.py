@@ -1,0 +1,299 @@
+"""Polynomial CPFs in Hamming space (Section 5, Theorem 5.2, Appendix C.3).
+
+Given a polynomial ``P(t) = sum a_i t^i`` (argument: *relative* Hamming
+distance ``t in [0, 1]``) with **no root whose real part lies in (0, 1)**,
+Theorem 5.2 builds a DSH family with CPF ``P(t) / Delta`` for a scaling
+factor ``Delta`` depending only on the roots.
+
+The construction factors ``P`` over its roots and assigns each factor a
+small bit-sampling gadget (Lemma 1.4(a) concatenation of everything):
+
+====================================  =======================================
+factor (root ``z``)                    gadget, CPF, per-factor ``Delta``
+====================================  =======================================
+``t``          (root 0)                anti bit-sampling; ``t``; 1
+``z - t``      (real ``z >= 1``)       scaled bit-sampling(1/z); ``1 - t/z``; ``z``
+``t + |z|``    (real ``z < 0``)        mix(anti, const); ``(t+|z|)/(2 max(1,|z|))``;
+                                       ``2 max(1, |z|)``
+``(t-a)^2+b^2`` (pair, ``a <= 0``)     mix(anti x anti, anti, const-1) with
+                                       weights ``(1, 2|a|, a^2+b^2)/Dq``;
+                                       ``q(t)/Dq``; ``Dq = 1 + 2|a| + a^2+b^2``
+``(t-a)^2+b^2`` (pair, ``a >= 1``)     mix(bit(1/a) x bit(1/a), const-1) with
+                                       weights ``(a^2, b^2)/|z|^2``;
+                                       ``q(t)/|z|^2``; ``a^2 + b^2``
+====================================  =======================================
+
+Our per-factor scalings are never larger than the paper's stated
+``Delta = a_k 2^psi prod_{|z|>1} |z|`` (strictly smaller for complex pairs
+with non-positive real part), so :func:`construction_delta` <=
+:func:`paper_delta`; both are exposed and compared in the tests.
+
+For polynomials with *non-negative* coefficients summing to at most 1 the
+far simpler Lemma 1.4(b) route — a mixture of powered anti bit-sampling —
+achieves CPF exactly ``P(t)`` with no scaling; see
+:func:`mixture_polynomial_family`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.combinators import ConcatenatedFamily, MixtureFamily, PoweredFamily
+from repro.core.cpf import PolynomialCPF
+from repro.core.family import DSHFamily
+from repro.families.bit_sampling import (
+    AntiBitSampling,
+    ConstantCollisionFamily,
+    scaled_anti_bit_sampling,
+    scaled_bit_sampling,
+)
+
+__all__ = [
+    "PolynomialHammingScheme",
+    "build_polynomial_family",
+    "mixture_polynomial_family",
+    "paper_delta",
+]
+
+_IMAG_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class PolynomialHammingScheme:
+    """Result of the Theorem 5.2 construction.
+
+    Attributes
+    ----------
+    family:
+        The concatenated DSH family.
+    cpf:
+        Analytic CPF ``P(t) / delta`` (argument: relative Hamming distance).
+    delta:
+        The scaling factor achieved by this construction.
+    theorem_delta:
+        The (never smaller) scaling factor stated by Theorem 5.2.
+    """
+
+    family: DSHFamily
+    cpf: PolynomialCPF
+    delta: float
+    theorem_delta: float
+
+
+def _classified_roots(
+    coefficients: np.ndarray,
+) -> tuple[int, list[float], list[float], list[complex]]:
+    """Split the roots of ``P`` into (zero multiplicity, real >= 1,
+    real < 0, one representative per complex-conjugate pair).
+
+    Raises ``ValueError`` for roots with real part in the open interval
+    ``(0, 1)`` — excluded by Theorem 5.2.
+    """
+    # Strip zero roots first: P(t) = t^ell * P'(t).
+    ell = 0
+    coeffs = list(coefficients)
+    while len(coeffs) > 1 and abs(coeffs[0]) < 1e-14:
+        coeffs.pop(0)
+        ell += 1
+    if len(coeffs) == 1:
+        return ell, [], [], []
+    roots = np.roots(np.asarray(coeffs, dtype=np.float64)[::-1])
+    real_pos: list[float] = []
+    real_neg: list[float] = []
+    complex_pairs: list[complex] = []
+    for z in roots:
+        if abs(z.imag) <= _IMAG_TOL * max(1.0, abs(z)):
+            x = float(z.real)
+            if 0.0 < x < 1.0:
+                if x < 1e-10:  # numerically zero root that survived stripping
+                    real_neg.append(0.0)
+                    continue
+                raise ValueError(
+                    f"Theorem 5.2 requires no root with real part in (0, 1); "
+                    f"found root {x:.6g}"
+                )
+            if x >= 1.0:
+                real_pos.append(x)
+            else:
+                real_neg.append(x)
+        elif z.imag > 0:
+            a = float(z.real)
+            if 0.0 < a < 1.0:
+                raise ValueError(
+                    f"Theorem 5.2 requires no root with real part in (0, 1); "
+                    f"found complex root with real part {a:.6g}"
+                )
+            complex_pairs.append(complex(z))
+        # imag < 0: the conjugate partner, handled with its pair.
+    return ell, real_pos, real_neg, complex_pairs
+
+
+def _check_nonnegative_on_unit_interval(coefficients: np.ndarray) -> None:
+    grid = np.linspace(0.0, 1.0, 512)
+    values = np.polyval(coefficients[::-1], grid)
+    if np.any(values < -1e-9):
+        worst = float(values.min())
+        raise ValueError(
+            f"P(t) must be non-negative on [0, 1] to be a scaled CPF; "
+            f"minimum value {worst:.3g}"
+        )
+
+
+def build_polynomial_family(
+    coefficients: list[float] | np.ndarray, d: int
+) -> PolynomialHammingScheme:
+    """Theorem 5.2: a DSH family on ``{0,1}^d`` with CPF ``P(t)/Delta``.
+
+    Parameters
+    ----------
+    coefficients:
+        ``[a_0, a_1, ..., a_k]`` in increasing degree.  ``P`` must be
+        non-negative on ``[0, 1]`` and have no root with real part in
+        ``(0, 1)``.
+    d:
+        Hamming cube dimension.
+
+    Returns
+    -------
+    PolynomialHammingScheme
+        Family, analytic CPF, achieved ``delta``, and the theorem's
+        ``Delta`` for comparison.
+    """
+    coefficients = np.asarray(coefficients, dtype=np.float64).ravel()
+    if coefficients.size < 2:
+        raise ValueError("P must have degree >= 1")
+    if abs(coefficients[-1]) < 1e-14:
+        raise ValueError("leading coefficient must be non-zero")
+    # Classify roots first so that a root inside (0, 1) raises the specific
+    # Theorem 5.2 error even when it also makes P negative on [0, 1].
+    ell, real_pos, real_neg, complex_pairs = _classified_roots(coefficients)
+    _check_nonnegative_on_unit_interval(coefficients)
+    lead = abs(float(coefficients[-1]))
+
+    families: list[DSHFamily] = []
+    delta = lead
+    # Zero roots: CPF t^ell via ell anti bit-samplings.
+    families.extend(AntiBitSampling(d) for _ in range(ell))
+    # Real roots z >= 1: factor (z - t) = z * (1 - t/z).
+    for z in real_pos:
+        families.append(scaled_bit_sampling(d, 1.0 / z))
+        delta *= z
+    # Real roots z < 0: factor (t + |z|) = 2 max(1,|z|) * (t + |z|)/(2 max(1,|z|)).
+    for z in real_neg:
+        mag = abs(z)
+        scale_denom = 2.0 * max(1.0, mag)
+        families.append(
+            MixtureFamily(
+                [
+                    scaled_anti_bit_sampling(d, scale=1.0 / max(1.0, mag)),
+                    ConstantCollisionFamily(min(1.0, mag)),
+                ],
+                [0.5, 0.5],
+            )
+        )
+        delta *= scale_denom
+    # Complex conjugate pairs: quadratic factor q(t) = (t - a)^2 + b^2.
+    for z in complex_pairs:
+        a, b = z.real, z.imag
+        if a <= 0.0:
+            # q(t) = t^2 + 2|a| t + |z|^2, all coefficients non-negative.
+            dq = 1.0 + 2.0 * abs(a) + abs(z) ** 2
+            components: list[DSHFamily] = [
+                PoweredFamily(AntiBitSampling(d), 2),
+                AntiBitSampling(d),
+                ConstantCollisionFamily(1.0),
+            ]
+            weights = np.array([1.0, 2.0 * abs(a), abs(z) ** 2]) / dq
+            families.append(MixtureFamily(components, weights))
+            delta *= dq
+        else:  # a >= 1 by the root classification
+            # q(t) = a^2 (1 - t/a)^2 + b^2.
+            dq = a**2 + b**2
+            families.append(
+                MixtureFamily(
+                    [
+                        PoweredFamily(scaled_bit_sampling(d, 1.0 / a), 2),
+                        ConstantCollisionFamily(1.0),
+                    ],
+                    np.array([a**2, b**2]) / dq,
+                )
+            )
+            delta *= dq
+
+    family: DSHFamily = ConcatenatedFamily(families)
+    cpf = PolynomialCPF(coefficients, "relative_distance", scale=delta)
+    return PolynomialHammingScheme(
+        family=family,
+        cpf=cpf,
+        delta=float(delta),
+        theorem_delta=paper_delta(coefficients),
+    )
+
+
+def paper_delta(coefficients: list[float] | np.ndarray) -> float:
+    """The scaling factor stated by Theorem 5.2:
+    ``Delta = |a_k| 2^psi prod_{z in Z, |z| > 1} |z|`` with ``psi`` the
+    number of roots with negative real part."""
+    coefficients = np.asarray(coefficients, dtype=np.float64).ravel()
+    ell, real_pos, real_neg, complex_pairs = _classified_roots(coefficients)
+    lead = abs(float(coefficients[-1]))
+    psi = len(real_neg) + 2 * sum(1 for z in complex_pairs if z.real < 0)
+    delta = lead * 2.0**psi
+    for z in real_pos:
+        if abs(z) > 1.0:
+            delta *= abs(z)
+    for z in real_neg:
+        if abs(z) > 1.0:
+            delta *= abs(z)
+    for z in complex_pairs:
+        if abs(z) > 1.0:
+            delta *= abs(z) ** 2  # both members of the conjugate pair
+    return float(delta)
+
+
+def mixture_polynomial_family(
+    coefficients: list[float] | np.ndarray, d: int
+) -> tuple[DSHFamily, PolynomialCPF]:
+    """Lemma 1.4(b) route: CPF exactly ``P(t)`` for ``a_i >= 0``,
+    ``sum a_i <= 1``.
+
+    Degree-``i`` terms are realized by ``i``-fold powered anti
+    bit-sampling (CPF ``t^i``); any slack ``1 - sum a_i`` goes to a
+    never-collide component.
+    """
+    coefficients = np.asarray(coefficients, dtype=np.float64).ravel()
+    if coefficients.size == 0:
+        raise ValueError("P must have at least one coefficient")
+    if np.any(coefficients < 0):
+        raise ValueError(
+            "mixture route requires non-negative coefficients; "
+            "use build_polynomial_family for signed polynomials"
+        )
+    total = float(coefficients.sum())
+    if total > 1.0 + 1e-12:
+        raise ValueError(f"sum of coefficients must be <= 1, got {total}")
+    components: list[DSHFamily] = []
+    weights: list[float] = []
+    for i, a in enumerate(coefficients):
+        if a == 0.0:
+            continue
+        if i == 0:
+            components.append(ConstantCollisionFamily(1.0))
+        elif i == 1:
+            components.append(AntiBitSampling(d))
+        else:
+            components.append(PoweredFamily(AntiBitSampling(d), i))
+        weights.append(float(a))
+    slack = max(0.0, 1.0 - total)
+    if not components:
+        components.append(ConstantCollisionFamily(0.0))
+        weights.append(1.0)
+    elif slack > 1e-15:
+        components.append(ConstantCollisionFamily(0.0))
+        weights.append(slack)
+    weights_arr = np.asarray(weights, dtype=np.float64)
+    family = MixtureFamily(components, weights_arr / weights_arr.sum())
+    cpf = PolynomialCPF(coefficients, "relative_distance", scale=1.0)
+    return family, cpf

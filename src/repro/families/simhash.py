@@ -1,0 +1,57 @@
+"""SimHash — Charikar's hyperplane rounding LSH [17].
+
+``h(x) = sign(<a, x>)`` for a standard Gaussian vector ``a``.  Its CPF is
+the canonical *LSHable angular similarity function* of Section 5:
+
+    sim(alpha) = 1 - arccos(alpha) / pi,
+
+and composing it with the Valiant embeddings (Theorem 5.1) yields the
+polynomial CPFs of Figure 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cpf import CPF, SimHashCPF
+from repro.core.family import SymmetricFamily
+from repro.utils.rng import ensure_rng
+
+__all__ = ["SimHash"]
+
+
+class SimHash(SymmetricFamily):
+    """Random-hyperplane LSH on ``R^d`` (typically used on ``S^{d-1}``).
+
+    Parameters
+    ----------
+    d:
+        Ambient dimension.
+
+    Notes
+    -----
+    The CPF statement ``Pr[h(x) = h(y)] = 1 - arccos(alpha)/pi`` holds for
+    any nonzero vectors with angle ``arccos(alpha)``; unit norms are not
+    required (SimHash only sees directions).
+    """
+
+    def __init__(self, d: int):
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self.d = int(d)
+
+    def sample_function(self, rng: np.random.Generator):
+        rng = ensure_rng(rng)
+        a = rng.standard_normal(self.d)
+
+        def func(points: np.ndarray) -> np.ndarray:
+            pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+            if pts.shape[1] != self.d:
+                raise ValueError(f"expected dimension {self.d}, got {pts.shape[1]}")
+            return (pts @ a >= 0).astype(np.int64)
+
+        return func
+
+    @property
+    def cpf(self) -> CPF:
+        return SimHashCPF()

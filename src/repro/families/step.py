@@ -1,0 +1,156 @@
+"""Step-function CPFs from mixtures of unimodal CPFs (Figure 2, Sec 6.3-6.4).
+
+A "step function" CPF is (roughly) flat at some level on ``[0, r]`` and
+drops quickly beyond — the shape that makes spherical range reporting
+output-sensitive (Theorem 6.5) and privacy-preserving distance estimation
+leak little (Section 6.4).
+
+Figure 2 builds one by convex-combining unimodal CPFs (Lemma 1.4(b)): the
+``k``-shifted Euclidean families of Section 4.2 peak at distances growing
+with ``k``, so a mixture of ``k = 0 .. K`` components with suitable weights
+covers ``[0, r]`` evenly.  :func:`design_step_family` chooses the weights by
+non-negative least squares against the flat target and reports the achieved
+flatness ``f_max / f_min`` (which drives the Theorem 6.5 duplicate factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.core.combinators import MixtureFamily
+from repro.core.cpf import CPF, ConstantCPF, MixtureCPF
+from repro.core.family import DSHFamily
+from repro.families.bit_sampling import ConstantCollisionFamily
+from repro.families.euclidean_lsh import ShiftedEuclideanCPF, ShiftedGaussianProjection
+from repro.utils.validation import check_positive
+
+__all__ = ["StepFamilyDesign", "design_step_family", "step_quality"]
+
+
+@dataclass(frozen=True)
+class StepFamilyDesign:
+    """Result of :func:`design_step_family`.
+
+    Attributes
+    ----------
+    family:
+        The mixture family realizing the step CPF.
+    cpf:
+        Its analytic CPF (distance argument).
+    f_min, f_max:
+        Extremes of the CPF over the flat region ``[0, r_flat]``.
+    tail:
+        Maximum CPF value at distances ``>= r_cut``.
+    weights:
+        Mixture weights over the ``k = 0..K`` components (the final entry
+        is the never-collide slack component).
+    ks:
+        Bucket shifts of the components.
+    """
+
+    family: DSHFamily
+    cpf: CPF
+    f_min: float
+    f_max: float
+    tail: float
+    weights: np.ndarray
+    ks: tuple[int, ...]
+
+
+def step_quality(
+    cpf: CPF, r_flat: float, r_cut: float, grid_points: int = 200
+) -> tuple[float, float, float]:
+    """Evaluate flatness and tail of a distance CPF.
+
+    Returns ``(f_min, f_max, tail)`` with the extremes taken over
+    ``[0, r_flat]`` and the tail over ``[r_cut, 3 r_cut]``.
+    """
+    check_positive(r_flat, "r_flat")
+    if r_cut <= r_flat:
+        raise ValueError(f"r_cut must exceed r_flat, got {r_cut} <= {r_flat}")
+    flat_grid = np.linspace(0.0, r_flat, grid_points)
+    tail_grid = np.linspace(r_cut, 3.0 * r_cut, grid_points)
+    flat_vals = cpf(flat_grid)
+    tail_vals = cpf(tail_grid)
+    return float(flat_vals.min()), float(flat_vals.max()), float(tail_vals.max())
+
+
+def design_step_family(
+    d: int,
+    r_flat: float,
+    level: float,
+    n_components: int = 6,
+    w: float | None = None,
+    grid_points: int = 80,
+) -> StepFamilyDesign:
+    """Design a mixture of shifted Euclidean families that is ~``level``
+    flat on ``[0, r_flat]`` and decays beyond.
+
+    Parameters
+    ----------
+    d:
+        Ambient dimension.
+    r_flat:
+        Right end of the flat region.
+    level:
+        Target collision probability on the flat region (e.g. ``1/t`` for
+        the privacy protocol of Section 6.4); must satisfy
+        ``0 < level <= 0.5`` so that the mixture has enough headroom.
+    n_components:
+        Number of shifted components ``k = 0 .. n_components - 1``.
+    w:
+        Bucket width; default ``2 r_flat / n_components`` spreads the
+        component peaks across the flat region with enough overlap for a
+        near-perfectly flat fit (``f_max / f_min <~ 1.02`` in practice).
+    grid_points:
+        Fitting grid resolution on ``[0, r_flat]``.
+
+    Notes
+    -----
+    Weights solve ``min_w ||A w - level||_2`` s.t. ``w >= 0`` (NNLS) where
+    ``A[j, i] = f_{k_i}(delta_j)``; leftover mass goes to a never-collide
+    component so the weights form a probability vector (Lemma 1.4(b)).
+    """
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    check_positive(r_flat, "r_flat")
+    if not 0.0 < level <= 0.5:
+        raise ValueError(f"level must lie in (0, 0.5], got {level}")
+    if n_components < 2:
+        raise ValueError(f"need at least 2 components, got {n_components}")
+    if w is None:
+        w = 2.0 * r_flat / n_components
+    check_positive(w, "w")
+
+    ks = tuple(range(n_components))
+    cpfs = [ShiftedEuclideanCPF(k, w) for k in ks]
+    grid = np.linspace(0.0, r_flat, grid_points)
+    design_matrix = np.column_stack([c(grid) for c in cpfs])
+    target = np.full(grid_points, level)
+    weights, _ = nnls(design_matrix, target)
+    total = float(weights.sum())
+    if total > 1.0:
+        weights = weights / total  # keep a probability vector (flat level drops)
+    slack = max(0.0, 1.0 - float(weights.sum()))
+
+    components: list[DSHFamily] = [
+        ShiftedGaussianProjection(d, w, k=k) for k in ks
+    ]
+    components.append(ConstantCollisionFamily(0.0))
+    all_weights = np.concatenate([weights, [slack]])
+    all_weights = all_weights / all_weights.sum()
+    family = MixtureFamily(components, all_weights)
+    cpf = MixtureCPF(cpfs + [ConstantCPF(0.0, "distance")], all_weights)
+    f_min, f_max, tail = step_quality(cpf, r_flat, 2.0 * r_flat)
+    return StepFamilyDesign(
+        family=family,
+        cpf=cpf,
+        f_min=f_min,
+        f_max=f_max,
+        tail=tail,
+        weights=all_weights,
+        ks=ks,
+    )

@@ -1,0 +1,115 @@
+"""Polynomial CPFs on the unit sphere (Section 5, Theorem 5.1, Figure 4).
+
+Theorem 5.1: if ``sim`` is an LSHable angular similarity function (there is
+a hash family with ``Pr[s(x) = s(y)] = sim(<x, y>)``) and
+``P(t) = sum a_i t^i`` satisfies ``sum |a_i| = 1``, then hashing
+``h(x) = s(phi1(x))``, ``g(y) = s(phi2(y))`` through the Valiant embedding
+pair gives
+
+    Pr[h(x) = g(y)] = sim(P(<x, y>)).
+
+With SimHash (``sim(t) = 1 - arccos(t)/pi``) this produces the CPF zoo of
+Figure 4 — including *decreasing*, *unimodal* and oscillation-damped shapes
+impossible for symmetric LSH.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.combinators import TransformedFamily
+from repro.core.cpf import CPF, LambdaCPF, SimHashCPF
+from repro.core.family import DSHFamily
+from repro.families.simhash import SimHash
+from repro.spaces.embeddings import TensorSketchEmbedding, ValiantEmbedding
+
+__all__ = ["PolynomialSphereFamily", "polynomial_sphere_cpf"]
+
+
+def polynomial_sphere_cpf(
+    coefficients: list[float] | np.ndarray, angular_cpf: CPF | None = None
+) -> CPF:
+    """The composed CPF ``alpha -> sim(P(alpha))`` of Theorem 5.1."""
+    coefficients = np.asarray(coefficients, dtype=np.float64).ravel()
+    if angular_cpf is None:
+        angular_cpf = SimHashCPF()
+    if angular_cpf.arg_kind != "similarity":
+        raise ValueError("angular_cpf must take a similarity argument")
+
+    def compose(alpha: np.ndarray) -> np.ndarray:
+        inner = np.polyval(coefficients[::-1], np.asarray(alpha, dtype=np.float64))
+        return angular_cpf(np.clip(inner, -1.0, 1.0))
+
+    return LambdaCPF(
+        compose,
+        "similarity",
+        f"sim(P(alpha)) with P coefficients {coefficients.tolist()}",
+    )
+
+
+class PolynomialSphereFamily(DSHFamily):
+    """Theorem 5.1 family: angular LSH applied through the Valiant maps.
+
+    Parameters
+    ----------
+    coefficients:
+        ``[a_0, ..., a_k]`` with ``sum |a_i| <= 1`` (the embedding pads any
+        slack orthogonally, so ``< 1`` is allowed; the CPF is then
+        ``sim(P(alpha))`` with ``P`` as given).
+    d:
+        Input dimension.
+    angular_family_factory:
+        Callable ``D -> DSHFamily`` building the LSHable angular similarity
+        family on the embedded dimension ``D``; defaults to SimHash.  Its
+        CPF (similarity argument) is composed into the family CPF.
+    sketch_dim:
+        If ``None`` (default) use the exact embedding of dimension
+        ``O(d^k)``; otherwise use a TensorSketch approximation of this
+        sketch size per degree (near-linear time, CPF holds up to the
+        sketch error).
+    rng:
+        Randomness for the sketch (ignored for the exact embedding).
+    """
+
+    def __init__(
+        self,
+        coefficients: list[float] | np.ndarray,
+        d: int,
+        angular_family_factory: Callable[[int], DSHFamily] | None = None,
+        sketch_dim: int | None = None,
+        rng: int | np.random.Generator | None = None,
+    ):
+        self.coefficients = np.asarray(coefficients, dtype=np.float64).ravel()
+        self.d = int(d)
+        if sketch_dim is None:
+            self.embedding = ValiantEmbedding(self.coefficients, d)
+        else:
+            self.embedding = TensorSketchEmbedding(
+                self.coefficients, d, sketch_dim=sketch_dim, rng=rng
+            )
+        if angular_family_factory is None:
+            angular_family_factory = SimHash
+        self.angular_family = angular_family_factory(self.embedding.output_dim)
+        angular_cpf = self.angular_family.cpf
+        if angular_cpf is None:
+            raise ValueError(
+                "the angular family must expose its CPF (an LSHable angular "
+                "similarity function, Section 5)"
+            )
+        self._inner = TransformedFamily(
+            self.angular_family,
+            data_map=self.embedding.embed_data,
+            query_map=self.embedding.embed_query,
+            cpf=polynomial_sphere_cpf(self.coefficients, angular_cpf),
+        )
+
+    def sample(self, rng: int | np.random.Generator | None = None):
+        return self._inner.sample(rng)
+
+    @property
+    def cpf(self) -> CPF:
+        cpf = self._inner.cpf
+        assert cpf is not None  # set in __init__
+        return cpf

@@ -1,0 +1,27 @@
+"""Search data structures built on DSH families (Section 6).
+
+* :mod:`repro.index.lsh_index` — the generic asymmetric hashing index
+  (insert with ``h``, probe with ``g``) with full instrumentation.
+* :mod:`repro.index.annulus` — approximate annulus search (Theorem 6.1,
+  Definition 6.3, Theorem 6.4).
+* :mod:`repro.index.hyperplane` — hyperplane / near-orthogonal-vector
+  queries (Section 6.1).
+* :mod:`repro.index.range_reporting` — output-sensitive spherical range
+  reporting with step-function CPFs (Section 6.3, Theorem 6.5).
+"""
+
+from repro.index.annulus import AnnulusIndex, AnnulusQueryResult, sphere_annulus_index
+from repro.index.hyperplane import HyperplaneIndex
+from repro.index.lsh_index import DSHIndex, QueryStats
+from repro.index.range_reporting import RangeReportingIndex, RangeReport
+
+__all__ = [
+    "DSHIndex",
+    "QueryStats",
+    "AnnulusIndex",
+    "AnnulusQueryResult",
+    "sphere_annulus_index",
+    "HyperplaneIndex",
+    "RangeReportingIndex",
+    "RangeReport",
+]

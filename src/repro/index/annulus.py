@@ -1,0 +1,211 @@
+"""Approximate annulus search (Theorem 6.1, Definition 6.3, Theorem 6.4).
+
+Given a unimodal DSH family whose CPF peaks inside a target proximity
+interval, the Theorem 6.1 data structure retrieves — with probability at
+least 1/2 — a point whose proximity to the query lies in the (slightly
+wider) reporting interval, examining ``O(n^rho*)`` candidates where
+``rho* = log(1/f(r)) / log n``.
+
+The implementation is proximity-agnostic: pass any row-wise proximity
+function (Euclidean distance, inner product, Hamming distance) plus the
+reporting interval.  :func:`sphere_annulus_index` wires it to the
+Section 6.2 sphere family for the Theorem 6.4 setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.family import DSHFamily
+from repro.families.annulus_sphere import AnnulusFamily
+from repro.index.lsh_index import DSHIndex
+from repro.utils.rng import ensure_rng
+
+__all__ = ["AnnulusQueryResult", "AnnulusIndex", "sphere_annulus_index"]
+
+
+@dataclass(frozen=True)
+class AnnulusQueryResult:
+    """Outcome of one annulus query.
+
+    Attributes
+    ----------
+    index:
+        Index of a reported point with proximity inside the reporting
+        interval, or ``None`` if the search failed / exhausted its budget.
+    proximity:
+        The reported point's proximity to the query (``nan`` when ``None``).
+    candidates_examined:
+        Number of candidate retrievals consumed (with multiplicity) — the
+        query's work, bounded by ``8 L`` per the Theorem 6.1 proof.
+    """
+
+    index: int | None
+    proximity: float
+    candidates_examined: int
+
+    @property
+    def found(self) -> bool:
+        """Whether a valid point was reported."""
+        return self.index is not None
+
+
+class AnnulusIndex:
+    """The Theorem 6.1 data structure.
+
+    Parameters
+    ----------
+    points:
+        Data set, shape ``(n, d)``.
+    family:
+        A DSH family whose CPF peaks inside the reporting interval (e.g.
+        :class:`~repro.families.annulus_sphere.AnnulusFamily` on the sphere
+        or a shifted Euclidean family).
+    interval:
+        Reporting interval ``(lo, hi)`` in proximity units.
+    proximity:
+        Vectorized proximity ``(query (d,), points (m, d)) -> (m,)`` —
+        e.g. Euclidean distance or inner product.
+    n_tables:
+        Number of repetitions ``L``; pick ``~ceil(c / f(r))`` for target
+        success probability ``1 - e^{-c}`` (the theorem uses ``L = 1/f(r)``
+        for probability ``1/e``, then amplifies).
+    budget_factor:
+        Early termination after ``budget_factor * L`` retrievals (the
+        theorem's Markov argument uses 8).
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        family: DSHFamily,
+        interval: tuple[float, float],
+        proximity: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        n_tables: int,
+        budget_factor: float = 8.0,
+        rng: int | np.random.Generator | None = None,
+    ):
+        lo, hi = interval
+        if not lo < hi:
+            raise ValueError(f"interval must satisfy lo < hi, got {interval}")
+        self.points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self.interval = (float(lo), float(hi))
+        self.proximity = proximity
+        if budget_factor <= 0:
+            raise ValueError(f"budget_factor must be positive, got {budget_factor}")
+        self.budget = int(np.ceil(budget_factor * n_tables))
+        self._index = DSHIndex(family, n_tables, ensure_rng(rng)).build(self.points)
+
+    def query(self, query_point: np.ndarray) -> AnnulusQueryResult:
+        """Report one point with proximity in the interval, if found.
+
+        Streams candidates in probe order, checking proximities one by one,
+        and stops at the first hit or when the retrieval budget is spent —
+        the exact procedure from the proof of Theorem 6.1.
+        """
+        query_point = np.asarray(query_point, dtype=np.float64).ravel()
+        lo, hi = self.interval
+        examined = 0
+        for idx, _table in self._index.iter_candidates(query_point):
+            examined += 1
+            value = float(self.proximity(query_point, self.points[idx : idx + 1])[0])
+            if lo <= value <= hi:
+                return AnnulusQueryResult(
+                    index=idx, proximity=value, candidates_examined=examined
+                )
+            if examined >= self.budget:
+                break
+        return AnnulusQueryResult(
+            index=None, proximity=float("nan"), candidates_examined=examined
+        )
+
+    def query_many(
+        self, query_point: np.ndarray, k: int
+    ) -> list[AnnulusQueryResult]:
+        """Report up to ``k`` *distinct* in-interval points.
+
+        Continues streaming candidates past the first hit (still within the
+        retrieval budget), deduplicating indices — the natural extension for
+        consumers like recommenders that want several diverse answers.
+        Returns the hits found, possibly fewer than ``k``.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        query_point = np.asarray(query_point, dtype=np.float64).ravel()
+        lo, hi = self.interval
+        examined = 0
+        seen: set[int] = set()
+        hits: list[AnnulusQueryResult] = []
+        for idx, _table in self._index.iter_candidates(query_point):
+            examined += 1
+            if idx not in seen:
+                seen.add(idx)
+                value = float(
+                    self.proximity(query_point, self.points[idx : idx + 1])[0]
+                )
+                if lo <= value <= hi:
+                    hits.append(
+                        AnnulusQueryResult(
+                            index=idx, proximity=value, candidates_examined=examined
+                        )
+                    )
+                    if len(hits) == k:
+                        break
+            if examined >= self.budget:
+                break
+        return hits
+
+
+def _inner_product_proximity(query: np.ndarray, points: np.ndarray) -> np.ndarray:
+    return points @ query
+
+
+def sphere_annulus_index(
+    points: np.ndarray,
+    alpha_interval: tuple[float, float],
+    t: float,
+    n_tables: int,
+    rng: int | np.random.Generator | None = None,
+    budget_factor: float = 8.0,
+) -> AnnulusIndex:
+    """Theorem 6.4 instantiation: inner-product annuli on the unit sphere.
+
+    The family peak ``alpha_max`` is placed at the *geometric* midpoint of
+    the interval in the ``a(alpha) = (1-alpha)/(1+alpha)`` parameterization
+    (Section 6.2), which is where the combined ``D+ (x) D-`` CPF is
+    balanced.
+
+    Parameters
+    ----------
+    points:
+        Unit vectors, shape ``(n, d)``.
+    alpha_interval:
+        Reporting interval of inner products ``(beta_-, beta_+)``.
+    t:
+        Filter threshold ``t_+`` (sharpness / cost knob).
+    n_tables, rng, budget_factor:
+        As in :class:`AnnulusIndex`.
+    """
+    beta_minus, beta_plus = alpha_interval
+    if not -1.0 < beta_minus < beta_plus < 1.0:
+        raise ValueError(f"need -1 < beta_- < beta_+ < 1, got {alpha_interval}")
+    a_lo = (1.0 - beta_plus) / (1.0 + beta_plus)
+    a_hi = (1.0 - beta_minus) / (1.0 + beta_minus)
+    a_mid = float(np.sqrt(a_lo * a_hi))
+    alpha_max = (1.0 - a_mid) / (1.0 + a_mid)
+    d = np.atleast_2d(points).shape[1]
+    family = AnnulusFamily(d, alpha_max=alpha_max, t=t)
+    return AnnulusIndex(
+        points,
+        family,
+        interval=alpha_interval,
+        proximity=_inner_product_proximity,
+        n_tables=n_tables,
+        budget_factor=budget_factor,
+        rng=rng,
+    )

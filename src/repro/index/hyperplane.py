@@ -1,0 +1,67 @@
+"""Hyperplane queries (Section 6.1).
+
+Searching a set of unit vectors for one (approximately) orthogonal to a
+query — i.e. closest to the query's hyperplane — is the annulus problem
+with the interval centered at inner product 0.  This was previously solved
+with ad-hoc asymmetric LSH [52]; in the DSH framework it falls out of the
+Section 6.2 family with ``alpha_max = 0``, achieving
+``rho* = (1 - alpha^2)/(1 + alpha^2)`` for reporting tolerance ``alpha``
+(Section 6.1 discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.annulus import AnnulusIndex, AnnulusQueryResult, sphere_annulus_index
+from repro.utils.validation import check_in_open_interval
+
+__all__ = ["HyperplaneIndex", "hyperplane_rho"]
+
+
+def hyperplane_rho(alpha: float) -> float:
+    """The query exponent ``rho = (1 - alpha^2)/(1 + alpha^2)`` promised in
+    Section 6.1 for returning a vector with ``|<x, q>| <= alpha`` whenever
+    an orthogonal vector exists."""
+    check_in_open_interval(alpha, 0.0, 1.0, "alpha")
+    return (1.0 - alpha**2) / (1.0 + alpha**2)
+
+
+class HyperplaneIndex:
+    """Find data vectors approximately orthogonal to a query vector.
+
+    Parameters
+    ----------
+    points:
+        Unit vectors, shape ``(n, d)``.
+    alpha:
+        Reporting tolerance: returned points satisfy ``|<x, q>| <= alpha``.
+    t:
+        Filter threshold of the underlying annulus family.
+    n_tables:
+        Repetition count ``L``.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        alpha: float,
+        t: float,
+        n_tables: int,
+        rng: int | np.random.Generator | None = None,
+    ):
+        check_in_open_interval(alpha, 0.0, 1.0, "alpha")
+        self.alpha = float(alpha)
+        self._annulus: AnnulusIndex = sphere_annulus_index(
+            points,
+            alpha_interval=(-alpha, alpha),
+            t=t,
+            n_tables=n_tables,
+            rng=rng,
+        )
+
+    def query(self, query_point: np.ndarray) -> AnnulusQueryResult:
+        """Return a point with ``|<x, q>| <= alpha`` if the search succeeds."""
+        return self._annulus.query(np.asarray(query_point, dtype=np.float64))

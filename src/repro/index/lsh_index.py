@@ -1,0 +1,205 @@
+"""Generic asymmetric hashing index.
+
+The data-structure skeleton shared by every Section 6 application, directly
+following the proof of Theorem 6.1: sample ``L`` independent pairs
+``(h_i, g_i)`` from a DSH family, store each data point ``x`` in table ``i``
+under key ``h_i(x)``, and probe a query ``y`` at key ``g_i(y)``.  The
+probability that a specific point is retrieved in one table is exactly the
+family's CPF at their distance, so retrieval statistics (candidates,
+duplicates) are the empirical face of everything the paper proves about
+CPFs.
+
+Multi-component hash rows are serialized to ``bytes`` for bucketing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.family import DSHFamily, HashPair, rows_to_keys
+from repro.utils.rng import ensure_rng
+
+__all__ = ["QueryStats", "DSHIndex"]
+
+
+@dataclass
+class QueryStats:
+    """Instrumentation for one query.
+
+    Attributes
+    ----------
+    retrieved:
+        Total number of (point, table) hits — counts duplicates, i.e. the
+        work the query performs.
+    unique_candidates:
+        Number of distinct data points retrieved.
+    tables_probed:
+        Tables inspected before termination (== L unless stopped early).
+    truncated:
+        Whether an early-termination candidate budget stopped the scan.
+    """
+
+    retrieved: int = 0
+    unique_candidates: int = 0
+    tables_probed: int = 0
+    truncated: bool = False
+
+    @property
+    def duplicates(self) -> int:
+        """Redundant retrievals — the waste Theorem 6.5 is about."""
+        return self.retrieved - self.unique_candidates
+
+
+class DSHIndex:
+    """``L``-table asymmetric hashing index over a fixed point set.
+
+    Parameters
+    ----------
+    family:
+        Any DSH family; data points are hashed with the ``h`` side and
+        queries with the ``g`` side of each sampled pair.
+    n_tables:
+        Number ``L`` of independent repetitions.
+    rng:
+        Seed or generator for sampling the ``L`` pairs.
+
+    Notes
+    -----
+    The index stores point *indices*; callers keep the point array.  Build
+    cost is ``O(L n)`` hash evaluations, the per-table layout is a plain
+    ``dict[bytes, list[int]]``.
+    """
+
+    def __init__(
+        self,
+        family: DSHFamily,
+        n_tables: int,
+        rng: int | np.random.Generator | None = None,
+    ):
+        if n_tables < 1:
+            raise ValueError(f"n_tables must be >= 1, got {n_tables}")
+        self.family = family
+        self.n_tables = int(n_tables)
+        self._pairs: list[HashPair] = family.sample_pairs(n_tables, ensure_rng(rng))
+        self._tables: list[dict[bytes, list[int]]] = []
+        self._n_points = 0
+        self._built = False
+
+    def build(self, points: np.ndarray) -> "DSHIndex":
+        """Hash all ``points`` (shape ``(n, d)``) into the ``L`` tables."""
+        points = np.atleast_2d(np.asarray(points))
+        self._tables = []
+        self._n_points = points.shape[0]
+        for pair in self._pairs:
+            table: dict[bytes, list[int]] = {}
+            keys = rows_to_keys(pair.hash_data(points))
+            for idx, key in enumerate(keys):
+                table.setdefault(key, []).append(idx)
+            self._tables.append(table)
+        self._built = True
+        return self
+
+    @property
+    def n_points(self) -> int:
+        """Number of indexed points."""
+        return self._n_points
+
+    def bucket_sizes(self) -> list[int]:
+        """All bucket sizes across tables (for load diagnostics)."""
+        self._require_built()
+        return [len(bucket) for table in self._tables for bucket in table.values()]
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise RuntimeError("index not built; call build(points) first")
+
+    def query_candidates(
+        self, query: np.ndarray, max_retrieved: int | None = None
+    ) -> tuple[list[int], QueryStats]:
+        """Retrieve candidate indices for a single query point.
+
+        Parameters
+        ----------
+        query:
+            One point, shape ``(d,)`` or ``(1, d)``.
+        max_retrieved:
+            Optional budget on total retrievals (with multiplicity); probing
+            stops once exceeded (the ``8L`` early-termination device in the
+            proof of Theorem 6.1).
+
+        Returns
+        -------
+        (list[int], QueryStats)
+            Distinct candidate indices in first-seen order, plus stats.
+        """
+        self._require_built()
+        query = np.atleast_2d(np.asarray(query))
+        if query.shape[0] != 1:
+            raise ValueError(f"query must be a single point, got {query.shape[0]}")
+        stats = QueryStats()
+        seen: set[int] = set()
+        ordered: list[int] = []
+        for pair, table in zip(self._pairs, self._tables):
+            key = rows_to_keys(pair.hash_query(query))[0]
+            bucket = table.get(key, ())
+            stats.retrieved += len(bucket)
+            for idx in bucket:
+                if idx not in seen:
+                    seen.add(idx)
+                    ordered.append(idx)
+            stats.tables_probed += 1
+            if max_retrieved is not None and stats.retrieved >= max_retrieved:
+                stats.truncated = True
+                break
+        stats.unique_candidates = len(ordered)
+        return ordered, stats
+
+    def iter_candidates(self, query: np.ndarray):
+        """Yield ``(index, table_number)`` hits lazily in probe order,
+        *with* duplicates — callers wanting streaming early termination
+        (annulus search) consume as much as they need."""
+        self._require_built()
+        query = np.atleast_2d(np.asarray(query))
+        for table_number, (pair, table) in enumerate(zip(self._pairs, self._tables)):
+            key = rows_to_keys(pair.hash_query(query))[0]
+            for idx in table.get(key, ()):
+                yield idx, table_number
+
+    def batch_query(
+        self, queries: np.ndarray, max_retrieved: int | None = None
+    ) -> list[tuple[list[int], QueryStats]]:
+        """Run :meth:`query_candidates` for each row of ``queries``.
+
+        Hashes all queries through each table's ``g`` in one vectorized
+        call, then walks buckets per query — the hashing (usually the
+        expensive part for projection-based families) is amortized.
+        """
+        self._require_built()
+        queries = np.atleast_2d(np.asarray(queries))
+        n = queries.shape[0]
+        per_query_keys: list[list[bytes]] = [[] for _ in range(n)]
+        for pair in self._pairs:
+            keys = rows_to_keys(pair.hash_query(queries))
+            for i, key in enumerate(keys):
+                per_query_keys[i].append(key)
+        results: list[tuple[list[int], QueryStats]] = []
+        for i in range(n):
+            stats = QueryStats()
+            seen: set[int] = set()
+            ordered: list[int] = []
+            for key, table in zip(per_query_keys[i], self._tables):
+                bucket = table.get(key, ())
+                stats.retrieved += len(bucket)
+                for idx in bucket:
+                    if idx not in seen:
+                        seen.add(idx)
+                        ordered.append(idx)
+                stats.tables_probed += 1
+                if max_retrieved is not None and stats.retrieved >= max_retrieved:
+                    stats.truncated = True
+                    break
+            stats.unique_candidates = len(ordered)
+            results.append((ordered, stats))
+        return results

@@ -1,0 +1,25 @@
+"""Privacy-preserving distance estimation (Section 6.4).
+
+* :mod:`repro.privacy.psi` — the private set intersection substrate: a
+  semi-honest salted-hash PSI *simulation* reproducing the information flow
+  of the protocols the paper cites ([24, 26]) — each party learns exactly
+  the intersection — plus explicit leakage accounting.
+* :mod:`repro.privacy.distance` — the DSH reduction itself: step-CPF hash
+  sketches whose PSI cardinality answers "is dist(q, x) <= r?" with false
+  positive rate ``delta`` and false negative rate ``epsilon``.
+"""
+
+from repro.privacy.distance import (
+    PrivateDistanceEstimator,
+    ProtocolDesign,
+    design_protocol,
+)
+from repro.privacy.psi import PSIResult, run_psi
+
+__all__ = [
+    "PSIResult",
+    "run_psi",
+    "ProtocolDesign",
+    "design_protocol",
+    "PrivateDistanceEstimator",
+]

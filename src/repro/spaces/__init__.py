@@ -1,0 +1,10 @@
+"""Distance spaces used by the paper: Hamming cube, unit sphere, Euclidean.
+
+Each module provides the metric/similarity of the space, uniform sampling,
+and generators of point pairs at controlled distance — the raw material for
+estimating collision probability functions.
+"""
+
+from repro.spaces import embeddings, euclidean, hamming, sphere, stable_features
+
+__all__ = ["hamming", "sphere", "euclidean", "embeddings", "stable_features"]

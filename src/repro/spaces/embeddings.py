@@ -1,0 +1,261 @@
+"""Embeddings between spaces, and the asymmetric polynomial embeddings of
+Valiant used by Theorem 5.1.
+
+Three pieces:
+
+* :func:`hamming_to_sphere` — the standard ``{0,1}^d -> S^{d-1}`` embedding
+  (``+-1`` signs scaled by ``1/sqrt(d)``) under which Hamming similarity
+  ``simH`` becomes the inner product.  Section 3 uses it to transfer the
+  Hamming lower bounds to the sphere.
+* :class:`ValiantEmbedding` — the pair of maps ``phi1, phi2 : R^d -> R^D``
+  with ``<phi1(x), phi2(y)> = P(<x, y>)`` for a polynomial ``P`` with
+  ``sum |a_i| <= 1`` (Appendix C.2, after Valiant [51]).  The asymmetry of
+  the pair is what absorbs negative coefficients.
+* :class:`TensorSketchEmbedding` — the near-linear-time approximation of the
+  same maps via CountSketch + FFT convolution (the "kernel approximation
+  methods [42]" remark in Section 5), satisfying
+  ``<phi1(x), phi2(y)> = P(<x, y>) +- eps`` with high probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spaces.hamming import to_signs
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "hamming_to_sphere",
+    "tensor_power",
+    "ValiantEmbedding",
+    "TensorSketchEmbedding",
+]
+
+_MAX_EXPLICIT_DIM = 2_000_000
+
+
+def hamming_to_sphere(x: np.ndarray) -> np.ndarray:
+    """Embed ``{0,1}^d`` into ``S^{d-1}`` so that ``simH`` becomes inner product.
+
+    ``x -> (1 - 2x) / sqrt(d)``; then ``<emb(x), emb(y)> = simH(x, y)``.
+    """
+    x = np.atleast_2d(np.asarray(x))
+    d = x.shape[1]
+    return to_signs(x) / np.sqrt(d)
+
+
+def tensor_power(x: np.ndarray, order: int) -> np.ndarray:
+    """Row-wise ``order``-fold tensor power, flattened to ``(n, d**order)``.
+
+    ``tensor_power(x, k)[i]`` is the flattening of ``x_i (x) ... (x) x_i``
+    (``k`` factors), so ``<tensor_power(x,k)[i], tensor_power(y,k)[j]> =
+    <x_i, y_j>**k``.  ``order = 0`` gives the all-ones ``(n, 1)`` array.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    n, d = x.shape
+    if order < 0:
+        raise ValueError(f"order must be non-negative, got {order}")
+    if order == 0:
+        return np.ones((n, 1))
+    if d**order > _MAX_EXPLICIT_DIM:
+        raise ValueError(
+            f"explicit tensor power dimension d**order = {d**order} exceeds "
+            f"{_MAX_EXPLICIT_DIM}; use TensorSketchEmbedding instead"
+        )
+    out = x
+    for _ in range(order - 1):
+        out = np.einsum("ni,nj->nij", out, x).reshape(n, -1)
+    return out
+
+
+def _check_coefficients(coefficients: np.ndarray) -> np.ndarray:
+    coefficients = np.asarray(coefficients, dtype=np.float64).ravel()
+    if coefficients.size == 0:
+        raise ValueError("polynomial must have at least one coefficient")
+    total = float(np.sum(np.abs(coefficients)))
+    if total > 1.0 + 1e-12:
+        raise ValueError(
+            f"Theorem 5.1 requires sum |a_i| <= 1, got {total:.6f}; rescale P"
+        )
+    return coefficients
+
+
+class ValiantEmbedding:
+    """Exact asymmetric embedding pair for a polynomial ``P`` (Theorem 5.1).
+
+    For ``P(t) = sum_{i=0}^k a_i t^i`` with ``sum |a_i| <= 1`` the maps
+    satisfy, for unit vectors ``x, y``:
+
+    * ``<embed_data(x), embed_query(y)> = P(<x, y>)``,
+    * ``||embed_data(x)|| = ||embed_query(y)|| = 1`` (two padding
+      coordinates absorb any slack ``1 - sum |a_i|`` without touching the
+      inner product).
+
+    Parameters
+    ----------
+    coefficients:
+        ``(k+1,)`` array ``[a_0, a_1, ..., a_k]`` in increasing degree.
+    d:
+        Input dimension; the output dimension is ``2 + sum_i d**i``.
+
+    Notes
+    -----
+    Data points go through ``phi1`` (:meth:`embed_data`) and query points
+    through ``phi2`` (:meth:`embed_query`); the sign of each ``a_i`` lives
+    only on the query side, which is exactly the asymmetry the construction
+    exploits.
+    """
+
+    def __init__(self, coefficients: np.ndarray, d: int):
+        self.coefficients = _check_coefficients(coefficients)
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self.d = int(d)
+        self.degree = self.coefficients.size - 1
+        if d**self.degree > _MAX_EXPLICIT_DIM:
+            raise ValueError(
+                f"d**degree = {d**self.degree} too large for the explicit "
+                "embedding; use TensorSketchEmbedding"
+            )
+        self._slack = max(0.0, 1.0 - float(np.sum(np.abs(self.coefficients))))
+
+    @property
+    def output_dim(self) -> int:
+        """Dimension of the embedded vectors (including the two padding slots)."""
+        return 2 + sum(self.d**i for i in range(self.degree + 1))
+
+    def _embed(self, points: np.ndarray, query_side: bool) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self.d:
+            raise ValueError(f"expected dimension {self.d}, got {points.shape[1]}")
+        n = points.shape[0]
+        blocks = []
+        for i, a in enumerate(self.coefficients):
+            root = np.sqrt(abs(a))
+            weight = np.sign(a) * root if query_side else root
+            blocks.append(weight * tensor_power(points, i))
+        pad = np.sqrt(self._slack)
+        if query_side:
+            blocks.append(np.zeros((n, 1)))
+            blocks.append(np.full((n, 1), pad))
+        else:
+            blocks.append(np.full((n, 1), pad))
+            blocks.append(np.zeros((n, 1)))
+        return np.hstack(blocks)
+
+    def embed_data(self, points: np.ndarray) -> np.ndarray:
+        """Apply ``phi1`` to the rows of ``points`` (shape ``(n, d)``)."""
+        return self._embed(points, query_side=False)
+
+    def embed_query(self, points: np.ndarray) -> np.ndarray:
+        """Apply ``phi2`` to the rows of ``points`` (shape ``(n, d)``)."""
+        return self._embed(points, query_side=True)
+
+
+class _CountSketch:
+    """A single CountSketch ``R^d -> R^m`` (hash bucket + sign per coordinate)."""
+
+    def __init__(self, d: int, m: int, rng: np.random.Generator):
+        self.buckets = rng.integers(0, m, size=d)
+        self.signs = rng.choice(np.array([-1.0, 1.0]), size=d)
+        self.m = m
+
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        n = points.shape[0]
+        out = np.zeros((n, self.m))
+        signed = points * self.signs
+        np.add.at(out.T, self.buckets, signed.T)
+        return out
+
+
+class TensorSketchEmbedding:
+    """Approximate Valiant embedding via TensorSketch (Pham–Pagh [42]).
+
+    Replaces each explicit tensor power ``x^{(i)}`` by an ``m``-dimensional
+    sketch computed as the FFT-domain product of ``i`` independent
+    CountSketches; inner products are preserved in expectation:
+    ``E[<sk_i(x), sk_i(y)>] = <x, y>**i`` with variance ``O(1/m)`` factors.
+    Data and query sides share the CountSketch randomness per degree, so the
+    polynomial identity holds approximately for the concatenated maps.
+
+    Parameters
+    ----------
+    coefficients:
+        Polynomial coefficients ``[a_0, ..., a_k]`` with ``sum |a_i| <= 1``.
+    d:
+        Input dimension.
+    sketch_dim:
+        Sketch size ``m`` per degree (larger = smaller error).
+    rng:
+        Seed or generator for the sketch randomness.
+    """
+
+    def __init__(
+        self,
+        coefficients: np.ndarray,
+        d: int,
+        sketch_dim: int = 256,
+        rng: int | np.random.Generator | None = None,
+    ):
+        self.coefficients = _check_coefficients(coefficients)
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        if sketch_dim < 1:
+            raise ValueError(f"sketch_dim must be >= 1, got {sketch_dim}")
+        self.d = int(d)
+        self.sketch_dim = int(sketch_dim)
+        self.degree = self.coefficients.size - 1
+        rng = ensure_rng(rng)
+        # One list of CountSketches per degree i >= 1 (degree i uses i sketches).
+        self._sketches = {
+            i: [_CountSketch(d, sketch_dim, rng) for _ in range(i)]
+            for i in range(1, self.degree + 1)
+        }
+        self._slack = max(0.0, 1.0 - float(np.sum(np.abs(self.coefficients))))
+
+    @property
+    def output_dim(self) -> int:
+        """Dimension of the sketched embedding."""
+        return 2 + 1 + self.degree * self.sketch_dim
+
+    def _degree_sketch(self, points: np.ndarray, degree: int) -> np.ndarray:
+        """TensorSketch of ``x^{(degree)}`` for each row, shape ``(n, m)``."""
+        if degree == 1:
+            return self._sketches[1][0].apply(points)
+        prod = None
+        for cs in self._sketches[degree]:
+            f = np.fft.rfft(cs.apply(points), axis=1)
+            prod = f if prod is None else prod * f
+        return np.fft.irfft(prod, n=self.sketch_dim, axis=1)
+
+    def _embed(self, points: np.ndarray, query_side: bool) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self.d:
+            raise ValueError(f"expected dimension {self.d}, got {points.shape[1]}")
+        n = points.shape[0]
+        blocks = []
+        a0 = self.coefficients[0]
+        root0 = np.sqrt(abs(a0))
+        blocks.append(np.full((n, 1), np.sign(a0) * root0 if query_side else root0))
+        for i in range(1, self.degree + 1):
+            a = self.coefficients[i]
+            root = np.sqrt(abs(a))
+            weight = np.sign(a) * root if query_side else root
+            blocks.append(weight * self._degree_sketch(points, i))
+        pad = np.sqrt(self._slack)
+        if query_side:
+            blocks.append(np.zeros((n, 1)))
+            blocks.append(np.full((n, 1), pad))
+        else:
+            blocks.append(np.full((n, 1), pad))
+            blocks.append(np.zeros((n, 1)))
+        return np.hstack(blocks)
+
+    def embed_data(self, points: np.ndarray) -> np.ndarray:
+        """Approximate ``phi1`` applied to the rows of ``points``."""
+        return self._embed(points, query_side=False)
+
+    def embed_query(self, points: np.ndarray) -> np.ndarray:
+        """Approximate ``phi2`` applied to the rows of ``points``."""
+        return self._embed(points, query_side=True)

@@ -1,0 +1,174 @@
+"""The Hamming cube ``{0,1}^d``.
+
+The paper measures Hamming proximity two ways and we support both:
+
+* **relative Hamming distance** ``t = ||x - y||_1 / d`` in ``[0, 1]``
+  (used by bit-sampling CPFs, Theorem 5.2), and
+* **Hamming similarity** ``simH(x, y) = 1 - 2 ||x - y||_1 / d`` in
+  ``[-1, 1]`` (used by the lower bounds in Section 3; it equals the inner
+  product of the ``±1`` encodings of ``x`` and ``y``).
+
+``alpha_correlated_pairs`` implements Definition 3.1: ``x`` is uniform and
+``y`` agrees with ``x`` coordinate-wise with probability ``(1 + alpha)/2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_in_closed_interval
+
+__all__ = [
+    "hamming_distance",
+    "relative_distance",
+    "similarity",
+    "similarity_to_relative_distance",
+    "relative_distance_to_similarity",
+    "random_points",
+    "alpha_correlated_pairs",
+    "pairs_at_distance",
+    "flip_bits",
+    "to_signs",
+    "from_signs",
+]
+
+
+def hamming_distance(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Absolute Hamming distance between rows of ``x`` and ``y``.
+
+    Parameters
+    ----------
+    x, y:
+        Binary arrays of identical shape ``(n, d)`` or ``(d,)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer distances, shape ``(n,)`` (scalar arrays for 1-D input).
+    """
+    x = np.atleast_2d(np.asarray(x))
+    y = np.atleast_2d(np.asarray(y))
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    return np.count_nonzero(x != y, axis=1)
+
+
+def relative_distance(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Relative Hamming distance ``||x - y||_1 / d`` in ``[0, 1]``."""
+    x = np.atleast_2d(np.asarray(x))
+    return hamming_distance(x, y) / x.shape[1]
+
+
+def similarity(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Hamming similarity ``simH(x, y) = 1 - 2 ||x - y||_1 / d`` (Section 3)."""
+    return 1.0 - 2.0 * relative_distance(x, y)
+
+
+def similarity_to_relative_distance(alpha: float | np.ndarray) -> float | np.ndarray:
+    """Convert similarity ``alpha`` in ``[-1, 1]`` to relative distance in ``[0, 1]``."""
+    return (1.0 - np.asarray(alpha, dtype=np.float64)) / 2.0
+
+
+def relative_distance_to_similarity(t: float | np.ndarray) -> float | np.ndarray:
+    """Convert relative distance ``t`` in ``[0, 1]`` to similarity in ``[-1, 1]``."""
+    return 1.0 - 2.0 * np.asarray(t, dtype=np.float64)
+
+
+def random_points(
+    n: int, d: int, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Sample ``n`` uniform points from ``{0,1}^d`` as an ``(n, d)`` int8 array."""
+    rng = ensure_rng(rng)
+    return rng.integers(0, 2, size=(n, d), dtype=np.int8)
+
+
+def alpha_correlated_pairs(
+    n: int,
+    d: int,
+    alpha: float,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``n`` randomly ``alpha``-correlated pairs (Definition 3.1).
+
+    ``x`` is uniform on ``{0,1}^d``; independently per coordinate,
+    ``y_i = x_i`` with probability ``(1 + alpha)/2`` and ``1 - x_i``
+    otherwise.  ``E[simH(x, y)] = alpha``.
+
+    Parameters
+    ----------
+    n, d:
+        Number of pairs and dimension.
+    alpha:
+        Correlation in ``[-1, 1]``.
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        Two ``(n, d)`` int8 arrays ``(x, y)``.
+    """
+    check_in_closed_interval(alpha, -1.0, 1.0, "alpha")
+    rng = ensure_rng(rng)
+    x = random_points(n, d, rng)
+    flips = rng.random(size=(n, d)) >= (1.0 + alpha) / 2.0
+    y = np.where(flips, 1 - x, x).astype(np.int8)
+    return x, y
+
+
+def pairs_at_distance(
+    n: int,
+    d: int,
+    r: int,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``n`` pairs at *exact* Hamming distance ``r``.
+
+    ``x`` is uniform and ``y`` flips a uniformly random ``r``-subset of
+    coordinates.  Exact-distance pairs give noise-free CPF estimates at a
+    target distance (unlike ``alpha_correlated_pairs`` whose distance is
+    binomially distributed).
+    """
+    if not 0 <= r <= d:
+        raise ValueError(f"r must lie in [0, {d}], got {r}")
+    rng = ensure_rng(rng)
+    x = random_points(n, d, rng)
+    y = x.copy()
+    for i in range(n):
+        idx = rng.choice(d, size=r, replace=False)
+        y[i, idx] = 1 - y[i, idx]
+    return x, y
+
+
+def flip_bits(
+    x: np.ndarray, r: int, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Return a copy of each row of ``x`` with a random ``r``-subset of bits flipped."""
+    x = np.atleast_2d(np.asarray(x))
+    n, d = x.shape
+    if not 0 <= r <= d:
+        raise ValueError(f"r must lie in [0, {d}], got {r}")
+    rng = ensure_rng(rng)
+    y = x.copy()
+    for i in range(n):
+        idx = rng.choice(d, size=r, replace=False)
+        y[i, idx] = 1 - y[i, idx]
+    return y
+
+
+def to_signs(x: np.ndarray) -> np.ndarray:
+    """Map bits ``{0,1}`` to signs ``{+1,-1}`` (``0 -> +1``, ``1 -> -1``).
+
+    Under this encoding ``<to_signs(x), to_signs(y)> / d = simH(x, y)``,
+    which is the embedding the paper uses to transfer sphere results to the
+    Hamming cube.
+    """
+    x = np.asarray(x)
+    return (1 - 2 * x).astype(np.float64)
+
+
+def from_signs(s: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_signs`: ``+1 -> 0``, ``-1 -> 1``."""
+    s = np.asarray(s)
+    return ((1 - np.sign(s)) // 2).astype(np.int8)

@@ -1,0 +1,88 @@
+"""Minimal ASCII line plots for terminal-only figure reproduction.
+
+The paper's figures are curves; the benchmark harness renders them as
+character grids so the reproduction record (``benchmarks/results/*.txt``)
+is visually checkable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Render one or more ``y = f(x)`` series as an ASCII grid.
+
+    Parameters
+    ----------
+    xs:
+        Shared x values (increasing).
+    series:
+        Mapping label -> y values (same length as ``xs``); up to 8 series,
+        each drawn with its own marker.
+    width, height:
+        Plot area in characters (excluding axes).
+    title:
+        Optional heading line.
+
+    Returns
+    -------
+    str
+        The rendered multi-line plot, with a legend and axis ranges.
+    """
+    xs = np.asarray(list(xs), dtype=np.float64)
+    if xs.size < 2:
+        raise ValueError("need at least two x values")
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    ys_all = np.concatenate(
+        [np.asarray(list(v), dtype=np.float64) for v in series.values()]
+    )
+    if np.any(~np.isfinite(ys_all)):
+        raise ValueError("series must be finite")
+    y_lo, y_hi = float(ys_all.min()), float(ys_all.max())
+    if y_hi - y_lo < 1e-15:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, values) in zip(_MARKERS, series.items()):
+        values = np.asarray(list(values), dtype=np.float64)
+        if values.size != xs.size:
+            raise ValueError(f"series {label!r} length mismatch")
+        cols = np.round((xs - x_lo) / (x_hi - x_lo) * (width - 1)).astype(int)
+        rows = np.round((values - y_lo) / (y_hi - y_lo) * (height - 1)).astype(int)
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:.4g}".rjust(10) + " +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 10 + " |" + "".join(row) + "|")
+    lines.append(f"{y_lo:.4g}".rjust(10) + " +" + "-" * width + "+")
+    lines.append(
+        " " * 12 + f"{x_lo:.4g}".ljust(width // 2) + f"{x_hi:.4g}".rjust(width // 2)
+    )
+    legend = "   ".join(
+        f"{marker} {label}" for marker, label in zip(_MARKERS, series.keys())
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

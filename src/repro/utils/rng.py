@@ -1,0 +1,52 @@
+"""Random-generator helpers.
+
+All stochastic objects in the library consume :class:`numpy.random.Generator`
+instances.  These helpers normalize user input (``None``, an integer seed, or
+an existing generator) and derive independent child generators so that
+sampling many hash functions stays reproducible without sharing state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a fixed seed, or an existing
+        generator which is returned unchanged.
+
+    Examples
+    --------
+    >>> rng = ensure_rng(7)
+    >>> ensure_rng(rng) is rng
+    True
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    The children are produced by jumping the parent's bit generator through
+    freshly drawn seeds, so the parent remains usable afterwards.
+
+    Parameters
+    ----------
+    rng:
+        Parent generator (advanced by this call).
+    n:
+        Number of children, ``n >= 0``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,44 @@
+"""Tests for the ASCII plotting utility."""
+
+import numpy as np
+import pytest
+
+from repro.utils.asciiplot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_renders_single_series(self):
+        xs = np.linspace(0, 1, 20)
+        out = ascii_plot(xs, {"line": xs**2}, title="parabola")
+        assert "parabola" in out
+        assert "* line" in out
+        assert out.count("\n") > 10
+
+    def test_marker_at_extremes(self):
+        xs = [0.0, 1.0]
+        out = ascii_plot(xs, {"s": [0.0, 1.0]}, width=10, height=5)
+        rows = [line for line in out.splitlines() if "|" in line]
+        assert "*" in rows[0]      # max value in the top row
+        assert "*" in rows[-1]     # min value in the bottom row
+
+    def test_multiple_series_distinct_markers(self):
+        xs = np.linspace(0, 1, 10)
+        out = ascii_plot(xs, {"a": xs, "b": 1 - xs})
+        assert "* a" in out and "o b" in out
+
+    def test_constant_series_handled(self):
+        xs = np.linspace(0, 1, 5)
+        out = ascii_plot(xs, {"flat": np.full(5, 0.3)})
+        assert "flat" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0.0], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_plot([0.0, 1.0], {})
+        with pytest.raises(ValueError):
+            ascii_plot([0.0, 1.0], {"a": [1.0]})  # length mismatch
+        with pytest.raises(ValueError):
+            ascii_plot([0.0, 1.0], {"a": [np.nan, 1.0]})
+        with pytest.raises(ValueError):
+            ascii_plot([0.0, 1.0], {"a": [0.0, 1.0]}, width=2)

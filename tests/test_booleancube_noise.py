@@ -1,0 +1,109 @@
+"""Tests for the noise operator and exact probabilistic CPFs."""
+
+import numpy as np
+import pytest
+
+from repro.booleancube.noise import (
+    correlated_collision_probability,
+    exact_probabilistic_cpf,
+    noise_operator,
+    noise_stability,
+)
+from repro.booleancube.walsh import enumerate_cube
+from repro.spaces import hamming
+
+
+class TestNoiseOperator:
+    def test_alpha_one_is_identity(self):
+        f = np.random.default_rng(0).standard_normal(16)
+        np.testing.assert_allclose(noise_operator(f, 1.0), f, atol=1e-9)
+
+    def test_alpha_zero_is_mean(self):
+        f = np.random.default_rng(1).standard_normal(16)
+        np.testing.assert_allclose(noise_operator(f, 0.0), np.mean(f), atol=1e-9)
+
+    def test_matches_direct_channel_computation(self):
+        # Direct O(4^d) computation of E_y[f(y) | x] for the BSC channel.
+        d, alpha = 5, 0.6
+        rng = np.random.default_rng(2)
+        f = rng.standard_normal(2**d)
+        cube = enumerate_cube(d).astype(np.int64)
+        flip = (1 - alpha) / 2
+        dists = np.count_nonzero(cube[:, None, :] != cube[None, :, :], axis=2)
+        channel = (flip**dists) * ((1 - flip) ** (d - dists))
+        np.testing.assert_allclose(noise_operator(f, alpha), channel @ f, atol=1e-9)
+
+    def test_preserves_mean(self):
+        f = np.random.default_rng(3).standard_normal(32)
+        assert np.mean(noise_operator(f, 0.42)) == pytest.approx(np.mean(f))
+
+    def test_negative_alpha(self):
+        # T_{-1} f(x) = f(complement of x).
+        d = 4
+        f = np.random.default_rng(4).standard_normal(2**d)
+        flipped = f[::-1]  # complement reverses the index order
+        np.testing.assert_allclose(noise_operator(f, -1.0), flipped, atol=1e-9)
+
+
+class TestNoiseStability:
+    def test_stability_of_dictator(self):
+        # f = g = x_0 as +-1 function: stability = alpha.
+        cube = enumerate_cube(6)
+        f = (-1.0) ** cube[:, 0]
+        for alpha in [-0.5, 0.0, 0.3, 0.9]:
+            assert noise_stability(f, f, alpha) == pytest.approx(alpha)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            noise_stability(np.zeros(4), np.zeros(8), 0.5)
+
+
+class TestCorrelatedCollisionProbability:
+    def test_bit_sampling_pair_matches_formula(self):
+        # h(x) = g(x) = x_0: collision prob at correlation alpha is (1+alpha)/2.
+        cube = enumerate_cube(5)
+        labels = cube[:, 0].astype(np.int64)
+        for alpha in [0.0, 0.25, 0.8]:
+            got = correlated_collision_probability(labels, labels, alpha)
+            assert got == pytest.approx((1 + alpha) / 2)
+
+    def test_anti_bit_sampling_pair_matches_formula(self):
+        # h(x) = x_0, g(y) = 1 - y_0: collision prob is (1-alpha)/2.
+        cube = enumerate_cube(5)
+        h = cube[:, 0].astype(np.int64)
+        g = 1 - h
+        for alpha in [0.0, 0.25, 0.8]:
+            got = correlated_collision_probability(h, g, alpha)
+            assert got == pytest.approx((1 - alpha) / 2)
+
+    def test_monte_carlo_agreement(self):
+        # Random label functions: exact result matches a big MC estimate.
+        d = 6
+        rng = np.random.default_rng(7)
+        h = rng.integers(0, 3, size=2**d)
+        g = rng.integers(0, 3, size=2**d)
+        alpha = 0.4
+        exact = correlated_collision_probability(h, g, alpha)
+        x, y = hamming.alpha_correlated_pairs(200_000, d, alpha, rng=8)
+        powers = 1 << np.arange(d, dtype=np.int64)
+        hx = h[x.astype(np.int64) @ powers]
+        gy = g[y.astype(np.int64) @ powers]
+        mc = np.mean(hx == gy)
+        assert exact == pytest.approx(mc, abs=0.005)
+
+    def test_disjoint_ranges_give_zero(self):
+        h = np.zeros(8, dtype=np.int64)
+        g = np.ones(8, dtype=np.int64)
+        assert correlated_collision_probability(h, g, 0.5) == 0.0
+
+
+class TestExactProbabilisticCpf:
+    def test_averages_over_pairs(self):
+        cube = enumerate_cube(4)
+        h = cube[:, 0].astype(np.int64)
+        pairs = [(h, h), (h, 1 - h)]  # collision probs (1+a)/2 and (1-a)/2
+        assert exact_probabilistic_cpf(pairs, 0.6) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            exact_probabilistic_cpf([], 0.5)

@@ -1,0 +1,121 @@
+"""Tests for cube subsets and exact correlated-pair probabilities."""
+
+import numpy as np
+import pytest
+from scipy.stats import binom
+
+from repro.booleancube.sets import (
+    correlated_pair_probability,
+    hamming_ball,
+    indicator_from_points,
+    subcube,
+    volume,
+    volume_parameter,
+)
+
+
+class TestVolumes:
+    def test_full_cube(self):
+        assert volume(np.ones(16)) == 1.0
+        assert volume_parameter(np.ones(16)) == 0.0
+
+    def test_half_cube(self):
+        ind = subcube(4, {0: 0})
+        assert volume(ind) == 0.5
+        assert volume_parameter(ind) == pytest.approx(np.sqrt(2 * np.log(2)))
+
+    def test_empty_set_parameter_raises(self):
+        with pytest.raises(ValueError):
+            volume_parameter(np.zeros(8))
+
+
+class TestHammingBall:
+    def test_radius_zero(self):
+        ind = hamming_ball(4, 0)
+        assert volume(ind) == 1 / 16
+        assert ind[0] == 1.0
+
+    def test_radius_d_is_everything(self):
+        assert volume(hamming_ball(5, 5)) == 1.0
+
+    def test_ball_size_formula(self):
+        d, r = 8, 3
+        expected = sum(
+            int(binom.pmf(k, d, 0.5) * 2**d) for k in range(r + 1)
+        )
+        # Compare against the exact binomial sum computed combinatorially.
+        from math import comb
+
+        expected = sum(comb(d, k) for k in range(r + 1))
+        assert int(np.sum(hamming_ball(d, r))) == expected
+
+    def test_custom_center(self):
+        center = np.array([1, 1, 0])
+        ind = hamming_ball(3, 0, center=center)
+        idx = 1 * 1 + 1 * 2 + 0 * 4
+        assert ind[idx] == 1.0 and np.sum(ind) == 1
+
+    def test_bad_radius(self):
+        with pytest.raises(ValueError):
+            hamming_ball(3, 4)
+
+
+class TestSubcube:
+    def test_two_pinned_coordinates(self):
+        ind = subcube(5, {1: 1, 3: 0})
+        assert volume(ind) == 0.25
+
+    def test_bad_coordinate(self):
+        with pytest.raises(ValueError):
+            subcube(3, {5: 0})
+
+    def test_bad_bit(self):
+        with pytest.raises(ValueError):
+            subcube(3, {0: 2})
+
+
+class TestIndicatorFromPoints:
+    def test_roundtrip(self):
+        pts = np.array([[0, 0, 0], [1, 1, 1]])
+        ind = indicator_from_points(3, pts)
+        assert ind[0] == 1.0 and ind[7] == 1.0 and np.sum(ind) == 2
+
+
+class TestCorrelatedPairProbability:
+    def test_independent_case_factorizes(self):
+        a = subcube(6, {0: 0})
+        b = hamming_ball(6, 2)
+        got = correlated_pair_probability(a, b, 0.0)
+        assert got == pytest.approx(volume(a) * volume(b))
+
+    def test_alpha_one_is_intersection(self):
+        a = subcube(5, {0: 0})
+        b = subcube(5, {0: 0, 1: 1})
+        got = correlated_pair_probability(a, b, 1.0)
+        assert got == pytest.approx(volume(a * b))
+
+    def test_symmetric_in_arguments(self):
+        a = hamming_ball(6, 1)
+        b = subcube(6, {2: 1})
+        assert correlated_pair_probability(a, b, 0.37) == pytest.approx(
+            correlated_pair_probability(b, a, 0.37)
+        )
+
+    def test_matches_direct_summation(self):
+        # Tiny d: direct double sum over the channel.
+        d, alpha = 4, 0.5
+        rng = np.random.default_rng(0)
+        a = (rng.random(2**d) < 0.4).astype(float)
+        b = (rng.random(2**d) < 0.6).astype(float)
+        from repro.booleancube.walsh import enumerate_cube
+
+        cube = enumerate_cube(d).astype(np.int64)
+        flip = (1 - alpha) / 2
+        dists = np.count_nonzero(cube[:, None, :] != cube[None, :, :], axis=2)
+        channel = (flip**dists) * ((1 - flip) ** (d - dists))
+        direct = float(a @ channel @ b) / 2**d
+        assert correlated_pair_probability(a, b, alpha) == pytest.approx(direct)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            correlated_pair_probability(np.ones(4), np.ones(8), 0.2)

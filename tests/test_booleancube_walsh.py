@@ -1,0 +1,89 @@
+"""Tests for the Walsh-Hadamard transform substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleancube.walsh import (
+    enumerate_cube,
+    fourier_coefficients,
+    inverse_fourier,
+    popcounts,
+    walsh_hadamard_transform,
+)
+
+
+class TestEnumerateCube:
+    def test_d2(self):
+        cube = enumerate_cube(2)
+        np.testing.assert_array_equal(cube, [[0, 0], [1, 0], [0, 1], [1, 1]])
+
+    def test_d0(self):
+        assert enumerate_cube(0).shape == (1, 0)
+
+    def test_large_d_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_cube(30)
+
+
+class TestPopcounts:
+    def test_d3(self):
+        np.testing.assert_array_equal(popcounts(3), [0, 1, 1, 2, 1, 2, 2, 3])
+
+
+class TestTransform:
+    def test_matches_dense_matrix(self):
+        d = 4
+        rng = np.random.default_rng(0)
+        f = rng.standard_normal(2**d)
+        cube = enumerate_cube(d).astype(np.int64)
+        # Dense character matrix H[S, x] = (-1)^{<S,x>}.
+        dots = cube @ cube.T
+        dense = ((-1.0) ** dots) @ f
+        np.testing.assert_allclose(walsh_hadamard_transform(f), dense, atol=1e-9)
+
+    @given(st.integers(min_value=0, max_value=8), st.integers(min_value=0, max_value=99))
+    @settings(max_examples=25)
+    def test_involution_up_to_scale(self, d, seed):
+        f = np.random.default_rng(seed).standard_normal(2**d)
+        twice = walsh_hadamard_transform(walsh_hadamard_transform(f))
+        np.testing.assert_allclose(twice, (2**d) * f, atol=1e-8)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            walsh_hadamard_transform(np.zeros(6))
+
+    def test_does_not_mutate_input(self):
+        f = np.ones(8)
+        walsh_hadamard_transform(f)
+        np.testing.assert_array_equal(f, np.ones(8))
+
+
+class TestFourier:
+    def test_constant_function(self):
+        coeffs = fourier_coefficients(np.full(8, 3.0))
+        assert coeffs[0] == pytest.approx(3.0)
+        np.testing.assert_allclose(coeffs[1:], 0.0, atol=1e-12)
+
+    def test_single_character(self):
+        # f = chi_{S} for S = {0} on d=3: f(x) = (-1)^{x_0}.
+        cube = enumerate_cube(3)
+        f = (-1.0) ** cube[:, 0]
+        coeffs = fourier_coefficients(f)
+        expected = np.zeros(8)
+        expected[1] = 1.0  # index of S = {0} is binary 001
+        np.testing.assert_allclose(coeffs, expected, atol=1e-12)
+
+    @given(st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=99))
+    @settings(max_examples=25)
+    def test_roundtrip(self, d, seed):
+        f = np.random.default_rng(seed).standard_normal(2**d)
+        np.testing.assert_allclose(
+            inverse_fourier(fourier_coefficients(f)), f, atol=1e-9
+        )
+
+    def test_parseval(self):
+        f = np.random.default_rng(5).standard_normal(16)
+        coeffs = fourier_coefficients(f)
+        assert np.sum(coeffs**2) == pytest.approx(np.mean(f**2))

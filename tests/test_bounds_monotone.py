@@ -1,0 +1,181 @@
+"""Tests for the Theorem 1.3 / Lemma 3.5 / Lemma 3.10 machinery.
+
+These are the paper's central lower bounds; we verify them *exactly* (no
+Monte Carlo slack) for every concrete family in the library that lives on
+the Hamming cube or embeds into the sphere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bounds.monotone import (
+    collect_label_pairs,
+    forward_bound_curve,
+    reverse_bound_curve,
+    theorem37_rho_lower_bound,
+    theorem38_rho_lower_bound,
+    verify_forward_bound,
+    verify_reverse_bound,
+)
+from repro.core.combinators import ConcatenatedFamily, MixtureFamily, PoweredFamily
+from repro.families.bit_sampling import AntiBitSampling, BitSampling
+from repro.families.filters import GaussianFilterFamily
+from repro.families.simhash import SimHash
+from repro.spaces.embeddings import hamming_to_sphere
+
+D = 8
+ALPHAS = [0.0, 0.25, 0.5, 0.75]
+
+
+class TestBoundCurves:
+    def test_reverse_curve_at_zero_alpha(self):
+        assert reverse_bound_curve(0.3, 0.0) == pytest.approx(0.3)
+
+    def test_reverse_curve_decreasing_in_alpha(self):
+        curve = reverse_bound_curve(0.3, np.array([0.0, 0.3, 0.6, 0.9]))
+        assert np.all(np.diff(curve) < 0)
+
+    def test_forward_curve_increasing_in_alpha(self):
+        curve = forward_bound_curve(0.3, np.array([0.0, 0.3, 0.6, 0.9]))
+        assert np.all(np.diff(curve) > 0)
+
+    def test_curves_meet_at_zero(self):
+        assert reverse_bound_curve(0.2, 0.0) == forward_bound_curve(0.2, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reverse_bound_curve(0.0, 0.5)
+        with pytest.raises(ValueError):
+            reverse_bound_curve(0.5, 1.0)
+        with pytest.raises(ValueError):
+            forward_bound_curve(0.5, -0.1)
+
+
+class TestAntiBitSamplingSaturatesNothing:
+    def test_anti_bit_sampling_satisfies_reverse_bound(self):
+        checks = verify_reverse_bound(AntiBitSampling(D), D, ALPHAS, n_pairs=16, rng=0)
+        assert all(c.satisfied for c in checks)
+
+    def test_anti_bit_sampling_f_hat_formula(self):
+        """f_hat(alpha) = (1-alpha)/2 exactly, comfortably above the bound."""
+        checks = verify_reverse_bound(AntiBitSampling(D), D, ALPHAS, n_pairs=16, rng=1)
+        for c in checks:
+            assert c.f_hat == pytest.approx((1 - c.alpha) / 2, abs=1e-9)
+            assert c.f_hat >= c.bound - 1e-9
+
+
+class TestReverseBoundAcrossFamilies:
+    """Theorem 1.3 must hold for every family; exact verification."""
+
+    @pytest.mark.parametrize(
+        "name,family,point_map",
+        [
+            ("bit-sampling", BitSampling(D), None),
+            ("anti-bit-sampling", AntiBitSampling(D), None),
+            ("anti^2", PoweredFamily(AntiBitSampling(D), 2), None),
+            (
+                "mixture",
+                MixtureFamily([BitSampling(D), AntiBitSampling(D)], [0.5, 0.5]),
+                None,
+            ),
+            (
+                "concat bit+anti",
+                ConcatenatedFamily([BitSampling(D), AntiBitSampling(D)]),
+                None,
+            ),
+            ("simhash-on-cube", SimHash(D), hamming_to_sphere),
+            (
+                "filter D- on cube",
+                GaussianFilterFamily(D, t=1.0, m=64, negated=True),
+                hamming_to_sphere,
+            ),
+            (
+                "filter D+ on cube",
+                GaussianFilterFamily(D, t=1.0, m=64, negated=False),
+                hamming_to_sphere,
+            ),
+        ],
+    )
+    def test_reverse_bound_holds(self, name, family, point_map):
+        checks = verify_reverse_bound(
+            family, D, ALPHAS, n_pairs=12, rng=42, point_map=point_map
+        )
+        for c in checks:
+            assert c.satisfied, f"{name} violates Lemma 3.5 at alpha={c.alpha}: " \
+                f"f_hat={c.f_hat} < bound={c.bound}"
+
+
+class TestForwardBoundAcrossFamilies:
+    """Lemma 3.10: no family's CPF grows faster than f(0)^{(1-a)/(1+a)}."""
+
+    @pytest.mark.parametrize(
+        "name,family,point_map",
+        [
+            ("bit-sampling", BitSampling(D), None),
+            ("anti-bit-sampling", AntiBitSampling(D), None),
+            ("simhash-on-cube", SimHash(D), hamming_to_sphere),
+            (
+                "filter D+ on cube",
+                GaussianFilterFamily(D, t=1.0, m=64, negated=False),
+                hamming_to_sphere,
+            ),
+        ],
+    )
+    def test_forward_bound_holds(self, name, family, point_map):
+        checks = verify_forward_bound(
+            family, D, ALPHAS, n_pairs=12, rng=7, point_map=point_map
+        )
+        for c in checks:
+            assert c.satisfied, f"{name} violates Lemma 3.10 at alpha={c.alpha}: " \
+                f"f_hat={c.f_hat} > bound={c.bound}"
+
+
+class TestNearTightness:
+    def test_filter_dminus_close_to_reverse_bound(self):
+        """Theorem 1.2's construction approaches the Lemma 3.5 floor: the
+        log-ratio ln f_hat(a) / ln bound(a) is within a modest factor."""
+        family = GaussianFilterFamily(D, t=1.5, m=256, negated=True)
+        checks = verify_reverse_bound(
+            family, D, [0.5], n_pairs=24, rng=11, point_map=hamming_to_sphere
+        )
+        c = checks[0]
+        ratio = np.log(c.f_hat) / np.log(c.bound)
+        assert 0.3 < ratio <= 1.0  # 1.0 would be exactly tight
+
+
+class TestRhoBounds:
+    def test_theorem38_shape(self):
+        assert theorem38_rho_lower_bound(2.0) == pytest.approx(1 / 3)
+        assert theorem38_rho_lower_bound(3.0) == pytest.approx(1 / 5)
+        with pytest.raises(ValueError):
+            theorem38_rho_lower_bound(1.0)
+
+    def test_theorem37_leading_term(self):
+        # At alpha_- = 0 the bound reduces to (1 - a_+)/(1 + a_+).
+        got = theorem37_rho_lower_bound(0.0, 0.5)
+        assert got == pytest.approx((1 - 0.5) / (1 + 0.5))
+
+    def test_theorem37_correction_reduces_bound(self):
+        base = theorem37_rho_lower_bound(0.1, 0.5)
+        corrected = theorem37_rho_lower_bound(0.1, 0.5, f_plus=0.01, d=100)
+        assert corrected < base
+
+    def test_theorem37_validation(self):
+        with pytest.raises(ValueError):
+            theorem37_rho_lower_bound(0.5, 0.5)
+
+
+class TestCollectLabelPairs:
+    def test_shapes_and_types(self):
+        pairs = collect_label_pairs(BitSampling(D), D, n_pairs=3, rng=0)
+        assert len(pairs) == 3
+        for h, g in pairs:
+            assert h.shape == (2**D,) and g.shape == (2**D,)
+            assert h.dtype == np.int64
+
+    def test_multi_component_families_collapse_consistently(self):
+        fam = ConcatenatedFamily([BitSampling(D), BitSampling(D)])
+        pairs = collect_label_pairs(fam, D, n_pairs=2, rng=1)
+        for h, g in pairs:
+            # Symmetric family: labels must agree pointwise.
+            np.testing.assert_array_equal(h, g)

@@ -1,0 +1,111 @@
+"""Tests for small-set expansion bounds against exact cube probabilities."""
+
+import numpy as np
+import pytest
+
+from repro.booleancube.sets import (
+    correlated_pair_probability,
+    hamming_ball,
+    subcube,
+    volume,
+)
+from repro.bounds.sse import (
+    generalized_sse_upper_bound,
+    reverse_sse_lower_bound,
+    volume_to_parameter,
+)
+
+D = 10
+ALPHAS = [0.0, 0.2, 0.5, 0.8]
+
+
+def _test_sets(d):
+    return {
+        "half": subcube(d, {0: 0}),
+        "quarter": subcube(d, {0: 0, 1: 1}),
+        "thin": subcube(d, {0: 0, 1: 0, 2: 0, 3: 0}),
+        "ball": hamming_ball(d, d // 3),
+        "small ball": hamming_ball(d, 1),
+    }
+
+
+class TestVolumeParameter:
+    def test_roundtrip(self):
+        for v in [1.0, 0.5, 0.1, 1e-4]:
+            a = volume_to_parameter(v)
+            assert np.exp(-(a**2) / 2) == pytest.approx(v)
+
+    def test_full_cube_parameter_zero(self):
+        assert volume_to_parameter(1.0) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            volume_to_parameter(0.0)
+        with pytest.raises(ValueError):
+            volume_to_parameter(1.5)
+
+
+class TestReverseSse:
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    def test_lower_bounds_exact_probability(self, alpha):
+        sets = _test_sets(D)
+        for name_a, a_ind in sets.items():
+            for name_b, b_ind in sets.items():
+                exact = correlated_pair_probability(a_ind, b_ind, alpha)
+                bound = reverse_sse_lower_bound(volume(a_ind), volume(b_ind), alpha)
+                assert exact >= bound - 1e-12, (
+                    f"A={name_a}, B={name_b}, alpha={alpha}: {exact} < {bound}"
+                )
+
+    def test_tight_for_independent_halfcubes(self):
+        """At alpha=0 the bound equals vol(A) * vol(B)."""
+        bound = reverse_sse_lower_bound(0.5, 0.25, 0.0)
+        assert bound == pytest.approx(0.125)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            reverse_sse_lower_bound(0.5, 0.5, -0.1)
+        with pytest.raises(ValueError):
+            reverse_sse_lower_bound(0.5, 0.5, 1.0)
+
+
+class TestGeneralizedSse:
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    def test_upper_bounds_exact_probability(self, alpha):
+        sets = _test_sets(D)
+        for name_a, a_ind in sets.items():
+            for name_b, b_ind in sets.items():
+                va, vb = volume(a_ind), volume(b_ind)
+                a = volume_to_parameter(va)
+                b = volume_to_parameter(vb)
+                lo, hi = min(a, b), max(a, b)
+                if not alpha * hi <= lo:
+                    continue  # outside the theorem's applicability region
+                exact = correlated_pair_probability(a_ind, b_ind, alpha)
+                bound = generalized_sse_upper_bound(va, vb, alpha)
+                assert exact <= bound + 1e-12, (
+                    f"A={name_a}, B={name_b}, alpha={alpha}: {exact} > {bound}"
+                )
+
+    def test_applicability_condition_enforced(self):
+        # Tiny A (huge parameter b) with large alpha violates alpha*b <= a.
+        with pytest.raises(ValueError, match="requires"):
+            generalized_sse_upper_bound(0.9, 1e-6, 0.9)
+
+    def test_symmetric_in_sets(self):
+        assert generalized_sse_upper_bound(0.3, 0.5, 0.4) == pytest.approx(
+            generalized_sse_upper_bound(0.5, 0.3, 0.4)
+        )
+
+
+class TestBoundsConsistency:
+    def test_reverse_below_generalized(self):
+        """Lower bound <= upper bound wherever both apply."""
+        for alpha in ALPHAS:
+            for va, vb in [(0.5, 0.5), (0.3, 0.4), (0.25, 0.25)]:
+                a, b = volume_to_parameter(va), volume_to_parameter(vb)
+                if alpha * max(a, b) > min(a, b):
+                    continue
+                lo = reverse_sse_lower_bound(va, vb, alpha)
+                hi = generalized_sse_upper_bound(va, vb, alpha)
+                assert lo <= hi + 1e-12

@@ -1,0 +1,157 @@
+"""Tests for Lemma 1.4 combinators: concatenation, powering, mixtures,
+point transforms.  The key checks compare *measured* collision rates of
+combined families against the composed analytic CPFs."""
+
+import numpy as np
+import pytest
+
+from repro.core.combinators import (
+    ConcatenatedFamily,
+    MixtureFamily,
+    PoweredFamily,
+    TransformedFamily,
+    negate_queries,
+)
+from repro.core.estimate import estimate_collision_probability
+from repro.families.bit_sampling import (
+    AntiBitSampling,
+    BitSampling,
+    ConstantCollisionFamily,
+    scaled_anti_bit_sampling,
+    scaled_bit_sampling,
+)
+from repro.spaces import hamming
+
+D = 32
+
+
+def _sampler_at(r: int):
+    def sampler(n, rng):
+        return hamming.pairs_at_distance(n, D, r, rng)
+
+    return sampler
+
+
+class TestConcatenation:
+    def test_cpf_is_product(self):
+        fam = ConcatenatedFamily([BitSampling(D), AntiBitSampling(D)])
+        t = 0.25
+        assert fam.cpf(t) == pytest.approx((1 - t) * t)
+
+    def test_measured_collision_matches_product(self):
+        fam = ConcatenatedFamily([BitSampling(D), AntiBitSampling(D)])
+        r = 8  # relative distance 0.25
+        est = estimate_collision_probability(
+            fam, _sampler_at(r), n_functions=400, pairs_per_function=100, rng=0
+        )
+        assert est.contains(float(fam.cpf(r / D)))
+
+    def test_component_stacking(self):
+        fam = ConcatenatedFamily([BitSampling(D), BitSampling(D), BitSampling(D)])
+        pair = fam.sample(rng=1)
+        x = hamming.random_points(5, D, rng=2)
+        assert pair.hash_data(x).shape == (5, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ConcatenatedFamily([])
+
+    def test_symmetry_propagates(self):
+        assert ConcatenatedFamily([BitSampling(D)] * 2).is_symmetric
+        assert not ConcatenatedFamily([BitSampling(D), AntiBitSampling(D)]).is_symmetric
+
+
+class TestPowering:
+    def test_cpf_is_power(self):
+        fam = PoweredFamily(AntiBitSampling(D), 3)
+        assert fam.cpf(0.5) == pytest.approx(0.125)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            PoweredFamily(BitSampling(D), 0)
+
+    def test_measured_matches_power(self):
+        fam = PoweredFamily(BitSampling(D), 2)
+        r = 16
+        est = estimate_collision_probability(
+            fam, _sampler_at(r), n_functions=400, pairs_per_function=100, rng=3
+        )
+        assert est.contains(float(fam.cpf(0.5)))
+
+
+class TestMixture:
+    def test_cpf_is_convex_combination(self):
+        fam = MixtureFamily([BitSampling(D), AntiBitSampling(D)], [0.3, 0.7])
+        t = 0.25
+        assert fam.cpf(t) == pytest.approx(0.3 * (1 - t) + 0.7 * t)
+
+    def test_measured_matches_mixture(self):
+        fam = MixtureFamily([BitSampling(D), AntiBitSampling(D)], [0.5, 0.5])
+        est = estimate_collision_probability(
+            fam, _sampler_at(8), n_functions=500, pairs_per_function=100, rng=4
+        )
+        assert est.contains(float(fam.cpf(0.25)))
+
+    def test_tag_prevents_cross_family_collision(self):
+        # Even if both sub-families produce identical raw values, mixtures
+        # drawing different indices must not collide.  The tag column is
+        # shared between h and g of one sampled pair, so this is about the
+        # component layout: tag + inner components.
+        fam = MixtureFamily(
+            [ConstantCollisionFamily(1.0), ConstantCollisionFamily(1.0)], [0.5, 0.5]
+        )
+        pair = fam.sample(rng=5)
+        x = hamming.random_points(3, D, rng=6)
+        comps = pair.hash_data(x)
+        assert comps.shape == (3, 2)
+        assert comps[0, 0] in (0, 1)
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError):
+            MixtureFamily([BitSampling(D)], [0.5])
+
+
+class TestScaledVariants:
+    def test_scaled_bit_sampling_cpf(self):
+        fam = scaled_bit_sampling(D, scale=0.6)
+        assert fam.cpf(0.5) == pytest.approx(1 - 0.6 * 0.5)
+
+    def test_scaled_anti_bit_sampling_cpf(self):
+        fam = scaled_anti_bit_sampling(D, scale=0.4, bias=0.2)
+        assert fam.cpf(0.5) == pytest.approx(0.2 + 0.4 * 0.5)
+
+    def test_scaled_anti_requires_valid_mass(self):
+        with pytest.raises(ValueError):
+            scaled_anti_bit_sampling(D, scale=0.8, bias=0.5)
+
+    def test_measured_scaled_anti(self):
+        fam = scaled_anti_bit_sampling(D, scale=0.5, bias=0.25)
+        est = estimate_collision_probability(
+            fam, _sampler_at(16), n_functions=500, pairs_per_function=100, rng=7
+        )
+        assert est.contains(float(fam.cpf(0.5)))
+
+
+class TestTransformedFamily:
+    def test_identity_transform_is_noop(self):
+        base = BitSampling(D)
+        fam = TransformedFamily(base, cpf=base.cpf)
+        pair = fam.sample(rng=8)
+        x = hamming.random_points(4, D, rng=9)
+        assert pair.hash_data(x).shape == (4, 1)
+        assert fam.is_symmetric
+
+    def test_negate_queries_breaks_symmetry(self):
+        from repro.families.simhash import SimHash
+
+        fam = negate_queries(SimHash(d=6))
+        assert not fam.is_symmetric
+
+    def test_query_map_applied(self):
+        # Data map that flips all bits should turn bit-sampling collisions
+        # at distance 0 into guaranteed non-collisions.
+        base = BitSampling(D)
+        fam = TransformedFamily(base, data_map=lambda p: 1 - p)
+        pair = fam.sample(rng=10)
+        x = hamming.random_points(20, D, rng=11)
+        assert not np.any(pair.collides(x, x))

@@ -1,0 +1,128 @@
+"""Tests for repro.core.cpf."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cpf import (
+    AntiBitSamplingCPF,
+    BitSamplingCPF,
+    ConstantCPF,
+    EmpiricalCPF,
+    LambdaCPF,
+    MixtureCPF,
+    PolynomialCPF,
+    PowerCPF,
+    ProductCPF,
+    SimHashCPF,
+)
+
+
+class TestBasics:
+    def test_invalid_arg_kind(self):
+        with pytest.raises(ValueError, match="arg_kind"):
+            ConstantCPF(0.5, arg_kind="nonsense")
+
+    def test_out_of_range_output_raises(self):
+        bad = LambdaCPF(lambda t: t * 2.0, "relative_distance")
+        with pytest.raises(ValueError, match="outside"):
+            bad(np.array([0.9]))
+
+    def test_tiny_overshoot_clipped(self):
+        almost = LambdaCPF(lambda t: 1.0 + 1e-12 + 0 * t, "relative_distance")
+        assert almost(0.3) == 1.0
+
+
+class TestAtomicCpfs:
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_bit_sampling(self, t):
+        assert BitSamplingCPF()(t) == pytest.approx(1 - t)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_anti_bit_sampling(self, t):
+        assert AntiBitSamplingCPF()(t) == pytest.approx(t)
+
+    def test_simhash_known_values(self):
+        cpf = SimHashCPF()
+        assert cpf(1.0) == pytest.approx(1.0)
+        assert cpf(-1.0) == pytest.approx(0.0)
+        assert cpf(0.0) == pytest.approx(0.5)
+
+    def test_constant(self):
+        cpf = ConstantCPF(0.37)
+        np.testing.assert_allclose(cpf(np.linspace(0, 1, 5)), 0.37)
+
+    def test_constant_invalid(self):
+        with pytest.raises(ValueError):
+            ConstantCPF(1.5)
+
+
+class TestPolynomialCpf:
+    def test_evaluates_polynomial(self):
+        # P(t) = 1 - t^2, scaled by 2.
+        cpf = PolynomialCPF([1.0, 0.0, -1.0], "relative_distance", scale=2.0)
+        assert cpf(0.0) == pytest.approx(0.5)
+        assert cpf(1.0) == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PolynomialCPF([], "relative_distance")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            PolynomialCPF([0.5], "relative_distance", scale=0.0)
+
+
+class TestCombinatorCpfs:
+    def test_product(self):
+        f = ProductCPF([BitSamplingCPF(), AntiBitSamplingCPF()])
+        t = np.array([0.3])
+        assert f(t)[0] == pytest.approx(0.3 * 0.7)
+
+    def test_product_mixed_kinds_rejected(self):
+        with pytest.raises(ValueError, match="mixed"):
+            ProductCPF([BitSamplingCPF(), SimHashCPF()])
+
+    def test_mixture(self):
+        f = MixtureCPF([BitSamplingCPF(), AntiBitSamplingCPF()], [0.25, 0.75])
+        assert f(0.4) == pytest.approx(0.25 * 0.6 + 0.75 * 0.4)
+
+    def test_mixture_bad_weights(self):
+        with pytest.raises(ValueError):
+            MixtureCPF([BitSamplingCPF()], [0.9])
+
+    @given(st.integers(min_value=1, max_value=6), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30)
+    def test_power(self, k, t):
+        f = PowerCPF(BitSamplingCPF(), k)
+        assert f(t) == pytest.approx((1 - t) ** k)
+
+    def test_power_invalid_k(self):
+        with pytest.raises(ValueError):
+            PowerCPF(BitSamplingCPF(), 0)
+
+
+class TestEmpiricalCpf:
+    def test_interpolates(self):
+        f = EmpiricalCPF([0.0, 1.0], [0.0, 1.0], "relative_distance")
+        assert f(0.5) == pytest.approx(0.5)
+
+    def test_requires_increasing_xs(self):
+        with pytest.raises(ValueError):
+            EmpiricalCPF([1.0, 0.0], [0.0, 1.0], "relative_distance")
+
+    def test_rejects_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            EmpiricalCPF([0.0, 1.0], [0.0, 1.5], "relative_distance")
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=4),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=50)
+def test_property_product_in_unit_interval(ps, t):
+    """Products of CPFs stay valid CPFs (Lemma 1.4(a) sanity)."""
+    f = ProductCPF([ConstantCPF(p) for p in ps])
+    assert 0.0 <= f(t) <= 1.0

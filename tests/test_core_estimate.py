@@ -1,0 +1,100 @@
+"""Tests for Monte Carlo CPF estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimate import (
+    estimate_collision_probability,
+    estimate_cpf_curve,
+    wilson_interval,
+)
+from repro.families.bit_sampling import AntiBitSampling, BitSampling
+from repro.spaces import hamming
+
+D = 20
+
+
+def _sampler_at(r: int):
+    def sampler(n, rng):
+        return hamming.pairs_at_distance(n, D, r, rng)
+
+    return sampler
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_extremes(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0 and high > 0.0
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0 and low < 1.0
+
+    def test_narrower_with_more_trials(self):
+        w1 = wilson_interval(50, 100)
+        w2 = wilson_interval(5000, 10000)
+        assert (w2[1] - w2[0]) < (w1[1] - w1[0])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+
+
+class TestEstimateCollisionProbability:
+    def test_bit_sampling_estimate_accurate(self):
+        est = estimate_collision_probability(
+            BitSampling(D), _sampler_at(5), n_functions=300, pairs_per_function=100, rng=0
+        )
+        assert est.contains(1 - 5 / D)
+        assert est.trials == 300 * 100
+
+    def test_anti_bit_sampling_estimate_accurate(self):
+        est = estimate_collision_probability(
+            AntiBitSampling(D), _sampler_at(5), n_functions=300, pairs_per_function=100, rng=1
+        )
+        assert est.contains(5 / D)
+
+    def test_deterministic_given_seed(self):
+        a = estimate_collision_probability(
+            BitSampling(D), _sampler_at(4), n_functions=20, pairs_per_function=20, rng=9
+        )
+        b = estimate_collision_probability(
+            BitSampling(D), _sampler_at(4), n_functions=20, pairs_per_function=20, rng=9
+        )
+        assert a.p_hat == b.p_hat
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            estimate_collision_probability(BitSampling(D), _sampler_at(1), n_functions=0)
+
+
+class TestEstimateCpfCurve:
+    def test_curve_tracks_analytic_cpf(self):
+        rs = [0, 5, 10, 15, 20]
+        ests = estimate_cpf_curve(
+            BitSampling(D),
+            lambda r: _sampler_at(int(r)),
+            rs,
+            n_functions=150,
+            pairs_per_function=60,
+            rng=2,
+        )
+        assert len(ests) == len(rs)
+        for r, est in zip(rs, ests):
+            assert est.contains(1 - r / D), f"failed at r={r}"
+
+    def test_monotone_decrease_detected(self):
+        ests = estimate_cpf_curve(
+            BitSampling(D),
+            lambda r: _sampler_at(int(r)),
+            [2, 10, 18],
+            n_functions=200,
+            pairs_per_function=50,
+            rng=3,
+        )
+        ps = [e.p_hat for e in ests]
+        assert ps[0] > ps[1] > ps[2]

@@ -1,0 +1,82 @@
+"""Tests for repro.core.family: hash component conventions and HashPair."""
+
+import numpy as np
+import pytest
+
+from repro.core.family import HashPair, as_components, rows_equal, rows_to_keys
+from repro.families.bit_sampling import AntiBitSampling, BitSampling
+from repro.spaces import hamming
+
+
+class TestAsComponents:
+    def test_1d_promoted(self):
+        out = as_components(np.array([1, 2, 3]))
+        assert out.shape == (3, 1)
+        assert out.dtype == np.int64
+
+    def test_2d_passthrough(self):
+        out = as_components(np.array([[1, 2], [3, 4]], dtype=np.int32))
+        assert out.shape == (2, 2)
+        assert out.dtype == np.int64
+
+    def test_float_rejected(self):
+        with pytest.raises(ValueError, match="integers"):
+            as_components(np.array([1.5]))
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            as_components(np.zeros((1, 1, 1), dtype=np.int64))
+
+
+class TestRowsEqual:
+    def test_all_components_must_match(self):
+        a = np.array([[1, 2], [3, 4], [5, 6]])
+        b = np.array([[1, 2], [3, 0], [0, 6]])
+        np.testing.assert_array_equal(rows_equal(a, b), [True, False, False])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rows_equal(np.zeros((2, 1), dtype=int), np.zeros((2, 2), dtype=int))
+
+
+class TestRowsToKeys:
+    def test_keys_distinguish_rows(self):
+        keys = rows_to_keys(np.array([[1, 2], [1, 3], [1, 2]]))
+        assert keys[0] == keys[2] and keys[0] != keys[1]
+
+    def test_noncontiguous_input(self):
+        arr = np.arange(12, dtype=np.int64).reshape(3, 4)[:, ::2]
+        keys = rows_to_keys(arr)
+        assert len(keys) == 3
+
+
+class TestHashPair:
+    def test_collides_matches_manual_equality(self):
+        fam = BitSampling(d=8)
+        pair = fam.sample(rng=0)
+        x, y = hamming.pairs_at_distance(100, 8, 2, rng=1)
+        manual = pair.hash_data(x)[:, 0] == pair.hash_query(y)[:, 0]
+        np.testing.assert_array_equal(pair.collides(x, y), manual)
+
+    def test_meta_records_coordinate(self):
+        pair = BitSampling(d=5).sample(rng=3)
+        assert 0 <= pair.meta["coordinate"] < 5
+
+
+class TestSamplePairs:
+    def test_reproducible(self):
+        fam = AntiBitSampling(d=10)
+        coords_a = [p.meta["coordinate"] for p in fam.sample_pairs(5, rng=42)]
+        coords_b = [p.meta["coordinate"] for p in fam.sample_pairs(5, rng=42)]
+        assert coords_a == coords_b
+
+    def test_count(self):
+        assert len(BitSampling(d=4).sample_pairs(7, rng=0)) == 7
+
+
+class TestSymmetryFlags:
+    def test_bit_sampling_symmetric(self):
+        assert BitSampling(d=4).is_symmetric
+
+    def test_anti_bit_sampling_asymmetric(self):
+        assert not AntiBitSampling(d=4).is_symmetric

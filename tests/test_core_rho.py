@@ -1,0 +1,92 @@
+"""Tests for rho-values and Definition 3.6 sensitivity checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.cpf import (
+    AntiBitSamplingCPF,
+    BitSamplingCPF,
+    LambdaCPF,
+    PowerCPF,
+)
+from repro.core.rho import (
+    check_decreasingly_sensitive,
+    check_increasingly_sensitive,
+    rho_from_probabilities,
+    rho_minus,
+    rho_plus,
+    rho_star,
+)
+
+
+class TestRhoFromProbabilities:
+    def test_basic(self):
+        # ln(1/0.25)/ln(1/0.5) = 2.
+        assert rho_from_probabilities(0.25, 0.5) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.1])
+    def test_rejects_boundary(self, bad):
+        with pytest.raises(ValueError):
+            rho_from_probabilities(bad, 0.5)
+        with pytest.raises(ValueError):
+            rho_from_probabilities(0.5, bad)
+
+
+class TestRhoPlusMinus:
+    def test_bit_sampling_rho_plus_close_to_inverse_c(self):
+        # For small r, bit-sampling has rho_+ ~ 1/c (optimal per [40]).
+        cpf = BitSamplingCPF()
+        got = rho_plus(cpf, r=0.01, c=2.0)
+        assert got == pytest.approx(1 / 2, rel=0.02)
+
+    def test_anti_bit_sampling_rho_minus_formula(self):
+        # rho_- = ln f(r)/ln f(r/c) = ln r / ln(r/c).
+        cpf = AntiBitSamplingCPF()
+        r, c = 0.1, 2.0
+        assert rho_minus(cpf, r, c) == pytest.approx(np.log(r) / np.log(r / c))
+
+    def test_requires_c_above_one(self):
+        with pytest.raises(ValueError):
+            rho_plus(BitSamplingCPF(), 0.1, 1.0)
+        with pytest.raises(ValueError):
+            rho_minus(AntiBitSamplingCPF(), 0.1, 0.5)
+
+
+class TestRhoStar:
+    def test_formula(self):
+        assert rho_star(0.01, 10000) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rho_star(0.5, 1)
+        with pytest.raises(ValueError):
+            rho_star(0.0, 100)
+
+
+class TestSensitivity:
+    def _decreasing_cpf(self):
+        # Decreasing in similarity: f(alpha) = (1 - alpha)/2.
+        return LambdaCPF(lambda a: (1 - a) / 2, "similarity")
+
+    def test_decreasing_family_passes(self):
+        cpf = self._decreasing_cpf()
+        # f(alpha) >= f(-0.5) = 0.75 for alpha <= -0.5; f(alpha) <= 0.25
+        # for alpha >= 0.5.
+        assert check_decreasingly_sensitive(cpf, -0.5, 0.5, 0.75, 0.25)
+
+    def test_decreasing_family_fails_wrong_thresholds(self):
+        cpf = self._decreasing_cpf()
+        assert not check_decreasingly_sensitive(cpf, -0.5, 0.5, 0.9, 0.25)
+
+    def test_increasing_family(self):
+        cpf = LambdaCPF(lambda a: (1 + a) / 2, "similarity")
+        assert check_increasingly_sensitive(cpf, -0.5, 0.5, 0.25, 0.75)
+        assert not check_increasingly_sensitive(cpf, -0.5, 0.5, 0.1, 0.75)
+
+    def test_threshold_order_validated(self):
+        with pytest.raises(ValueError):
+            check_decreasingly_sensitive(self._decreasing_cpf(), 0.5, -0.5, 0.1, 0.9)
+
+    def test_powered_cpf_still_sensitive(self):
+        cpf = PowerCPF(self._decreasing_cpf(), 3)
+        assert check_decreasingly_sensitive(cpf, -0.5, 0.5, 0.75**3, 0.25**3)

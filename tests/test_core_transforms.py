@@ -1,0 +1,88 @@
+"""Tests for the probability-generating CPF transformations ([18] remark)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimate import estimate_collision_probability
+from repro.core.transforms import transform_family, transformed_cpf
+from repro.families.bit_sampling import AntiBitSampling, BitSampling
+from repro.spaces import hamming
+
+D = 32
+
+
+def _sampler(r):
+    def sampler(n, rng):
+        return hamming.pairs_at_distance(n, D, r, rng)
+
+    return sampler
+
+
+class TestTransformedCpf:
+    def test_polynomial_of_base(self):
+        base = BitSampling(D).cpf
+        # P(f) = 0.25 + 0.5 f^2.
+        cpf = transformed_cpf(base, [0.25, 0.0, 0.5])
+        t = 0.25
+        assert cpf(t) == pytest.approx(0.25 + 0.5 * (1 - t) ** 2)
+
+    def test_arg_kind_preserved(self):
+        cpf = transformed_cpf(AntiBitSampling(D).cpf, [0.0, 1.0])
+        assert cpf.arg_kind == "relative_distance"
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=0.3), min_size=1, max_size=4),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40)
+    def test_always_a_valid_cpf(self, coeffs, t):
+        cpf = transformed_cpf(BitSampling(D).cpf, coeffs)
+        assert 0.0 <= cpf(t) <= 1.0
+
+    def test_validation(self):
+        base = BitSampling(D).cpf
+        with pytest.raises(ValueError):
+            transformed_cpf(base, [])
+        with pytest.raises(ValueError):
+            transformed_cpf(base, [-0.1, 0.5])
+        with pytest.raises(ValueError):
+            transformed_cpf(base, [0.8, 0.8])
+
+
+class TestTransformFamily:
+    def test_measured_matches_transformed_cpf(self):
+        coeffs = [0.2, 0.3, 0.4]
+        family = transform_family(AntiBitSampling(D), coeffs)
+        cpf = transformed_cpf(AntiBitSampling(D).cpf, coeffs)
+        for r in [8, 16, 24]:
+            est = estimate_collision_probability(
+                family, _sampler(r), n_functions=1000, pairs_per_function=50, rng=r
+            )
+            assert est.contains(float(cpf(r / D))), f"r={r}"
+
+    def test_constant_term_only(self):
+        family = transform_family(BitSampling(D), [0.5])
+        est = estimate_collision_probability(
+            family, _sampler(16), n_functions=800, pairs_per_function=20, rng=0
+        )
+        assert est.contains(0.5)
+
+    def test_zero_polynomial(self):
+        family = transform_family(BitSampling(D), [0.0])
+        pair = family.sample(rng=1)
+        x = hamming.random_points(10, D, rng=2)
+        assert not np.any(pair.collides(x, x))
+
+    def test_slack_reduces_collisions(self):
+        full = transform_family(BitSampling(D), [0.0, 1.0])
+        half = transform_family(BitSampling(D), [0.0, 0.5])
+        est_full = estimate_collision_probability(
+            full, _sampler(8), n_functions=600, pairs_per_function=40, rng=3
+        )
+        est_half = estimate_collision_probability(
+            half, _sampler(8), n_functions=600, pairs_per_function=40, rng=4
+        )
+        assert est_half.p_hat < est_full.p_hat
+        assert est_half.contains(0.5 * (1 - 8 / D))

@@ -1,0 +1,97 @@
+"""Tests for synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    clustered_unit_vectors,
+    planted_euclidean_range,
+    planted_sphere_annulus,
+)
+
+
+class TestPlantedSphereAnnulus:
+    def test_planted_point_inside_interval(self):
+        inst = planted_sphere_annulus(200, 16, (0.3, 0.5), rng=0)
+        alpha = float(inst.points[inst.planted_index] @ inst.query)
+        assert 0.3 <= alpha <= 0.5
+        assert alpha == pytest.approx(inst.planted_alpha, abs=1e-9)
+
+    def test_all_points_unit_norm(self):
+        inst = planted_sphere_annulus(100, 12, (-0.2, 0.2), rng=1)
+        np.testing.assert_allclose(
+            np.linalg.norm(inst.points, axis=1), 1.0, atol=1e-9
+        )
+        assert np.linalg.norm(inst.query) == pytest.approx(1.0)
+
+    def test_distractors_nearly_orthogonal(self):
+        inst = planted_sphere_annulus(500, 256, (0.6, 0.7), rng=2)
+        others = np.delete(np.arange(500), inst.planted_index)
+        ips = inst.points[others] @ inst.query
+        assert np.max(np.abs(ips)) < 0.45  # 6+ sigma at d=256
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            planted_sphere_annulus(10, 8, (0.5, 0.3))
+        with pytest.raises(ValueError):
+            planted_sphere_annulus(1, 8, (0.1, 0.2))
+
+
+class TestPlantedEuclideanRange:
+    def test_near_points_within_radius(self):
+        inst = planted_euclidean_range(120, 8, 2.0, n_near=15, rng=3)
+        assert len(inst.near_indices) == 15
+        for i in inst.near_indices:
+            assert np.linalg.norm(inst.points[i] - inst.query) <= 2.0 + 1e-9
+
+    def test_far_points_respect_margin(self):
+        inst = planted_euclidean_range(120, 8, 2.0, n_near=15, far_factor=3.0, rng=4)
+        far = set(range(120)) - set(inst.near_indices)
+        for i in far:
+            assert np.linalg.norm(inst.points[i] - inst.query) >= 3.0 * 2.0 - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            planted_euclidean_range(10, 4, -1.0, n_near=2)
+        with pytest.raises(ValueError):
+            planted_euclidean_range(10, 4, 1.0, n_near=20)
+        with pytest.raises(ValueError):
+            planted_euclidean_range(10, 4, 1.0, n_near=2, far_factor=0.5)
+
+
+class TestClusteredUnitVectors:
+    def test_shapes_and_labels(self):
+        pts, labels, centers = clustered_unit_vectors(4, 25, 16, rng=5)
+        assert pts.shape == (100, 16)
+        assert centers.shape == (4, 16)
+        assert set(labels) == {0, 1, 2, 3}
+
+    def test_points_close_to_their_center(self):
+        pts, labels, centers = clustered_unit_vectors(
+            3, 40, 32, concentration=30.0, rng=6
+        )
+        # Expected similarity ~ conc/sqrt(conc^2 + d) = 0.983 at conc=30, d=32.
+        for label in range(3):
+            cluster = pts[labels == label]
+            sims = cluster @ centers[label]
+            assert np.min(sims) > 0.9
+
+    def test_concentration_controls_spread(self):
+        tight, labels_t, centers_t = clustered_unit_vectors(
+            1, 200, 32, concentration=30.0, rng=8
+        )
+        diffuse, labels_d, centers_d = clustered_unit_vectors(
+            1, 200, 32, concentration=3.0, rng=9
+        )
+        assert np.mean(tight @ centers_t[0]) > np.mean(diffuse @ centers_d[0])
+
+    def test_unit_norms(self):
+        pts, _, centers = clustered_unit_vectors(2, 10, 8, rng=7)
+        np.testing.assert_allclose(np.linalg.norm(pts, axis=1), 1.0, atol=1e-9)
+        np.testing.assert_allclose(np.linalg.norm(centers, axis=1), 1.0, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clustered_unit_vectors(0, 5, 8)
+        with pytest.raises(ValueError):
+            clustered_unit_vectors(2, 5, 8, concentration=-1.0)

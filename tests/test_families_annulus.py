@@ -1,0 +1,124 @@
+"""Tests for the annulus family and Theorem 6.2 / 6.4 helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimate import estimate_collision_probability
+from repro.families.annulus_sphere import (
+    AnnulusFamily,
+    a_to_similarity,
+    annulus_interval,
+    similarity_to_a,
+    theorem64_rho,
+)
+from repro.spaces import sphere
+
+D = 12
+
+
+class TestReparameterization:
+    @pytest.mark.parametrize("alpha", [-0.9, -0.3, 0.0, 0.5, 0.95])
+    def test_roundtrip(self, alpha):
+        assert a_to_similarity(similarity_to_a(alpha)) == pytest.approx(alpha)
+
+    def test_known_values(self):
+        assert similarity_to_a(0.0) == 1.0
+        assert a_to_similarity(1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            similarity_to_a(1.0)
+        with pytest.raises(ValueError):
+            a_to_similarity(0.0)
+
+
+class TestAnnulusInterval:
+    def test_contains_alpha_max(self):
+        for alpha_max in [-0.5, 0.0, 0.4]:
+            lo, hi = annulus_interval(alpha_max, 2.0)
+            assert lo < alpha_max < hi
+
+    def test_wider_with_larger_s(self):
+        lo2, hi2 = annulus_interval(0.2, 2.0)
+        lo4, hi4 = annulus_interval(0.2, 4.0)
+        assert lo4 < lo2 and hi4 > hi2
+
+    def test_figure3_zero_alpha_max_symmetric(self):
+        """At alpha_max = 0 the annulus is symmetric (Figure 3 midline)."""
+        lo, hi = annulus_interval(0.0, 3.0)
+        assert lo == pytest.approx(-hi)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            annulus_interval(0.0, 1.0)
+
+
+class TestAnnulusFamily:
+    def test_cpf_peaks_at_alpha_max(self):
+        fam = AnnulusFamily(D, alpha_max=0.3, t=2.0)
+        alphas = np.linspace(-0.8, 0.9, 35)
+        values = fam.cpf(alphas)
+        peak_alpha = alphas[int(np.argmax(values))]
+        assert peak_alpha == pytest.approx(0.3, abs=0.1)
+
+    def test_cpf_unimodal(self):
+        fam = AnnulusFamily(D, alpha_max=0.0, t=1.8)
+        alphas = np.linspace(-0.9, 0.9, 41)
+        values = fam.cpf(alphas)
+        peak = int(np.argmax(values))
+        assert np.all(np.diff(values[: peak + 1]) >= -1e-12)
+        assert np.all(np.diff(values[peak:]) <= 1e-12)
+
+    def test_theoretical_log_inv_cpf_minimized_at_alpha_max(self):
+        fam = AnnulusFamily(D, alpha_max=0.25, t=2.5)
+        alphas = np.linspace(-0.6, 0.8, 57)
+        curve = fam.theoretical_log_inv_cpf(alphas)
+        assert alphas[int(np.argmin(curve))] == pytest.approx(0.25, abs=0.05)
+
+    def test_measured_cpf_matches_analytic(self):
+        fam = AnnulusFamily(D, alpha_max=0.0, t=1.3)
+        for alpha in [-0.5, 0.0, 0.5]:
+            est = estimate_collision_probability(
+                fam,
+                lambda n, rng, a=alpha: sphere.pairs_at_inner_product(n, D, a, rng),
+                n_functions=250,
+                pairs_per_function=80,
+                rng=1,
+            )
+            expected = float(fam.cpf(alpha))
+            assert est.contains(expected), f"alpha={alpha}: {est} vs {expected}"
+
+    def test_interval_delegates(self):
+        fam = AnnulusFamily(D, alpha_max=0.2, t=2.0)
+        assert fam.interval(2.0) == annulus_interval(0.2, 2.0)
+
+    def test_t_minus_parameterization(self):
+        """t_- = a(alpha_max) t_+ per Section 6.2."""
+        fam = AnnulusFamily(D, alpha_max=0.5, t=3.0)
+        assert fam.t_minus == pytest.approx(similarity_to_a(0.5) * 3.0)
+
+
+class TestTheorem64Rho:
+    def test_rho_below_one(self):
+        rho = theorem64_rho(-0.1, 0.1, -0.6, 0.6)
+        assert 0.0 < rho < 1.0
+
+    def test_wider_outer_annulus_smaller_rho(self):
+        rho_narrow = theorem64_rho(-0.1, 0.1, -0.4, 0.4)
+        rho_wide = theorem64_rho(-0.1, 0.1, -0.8, 0.8)
+        assert rho_wide < rho_narrow
+
+    def test_bound_two_over_c_plus_inverse(self):
+        """rho <= 2 / (c + 1/c) with c = c_beta / c_alpha (Theorem 6.4)."""
+        a_m, a_p, b_m, b_p = -0.2, 0.2, -0.7, 0.7
+        rho = theorem64_rho(a_m, a_p, b_m, b_p)
+        c_alpha = np.sqrt(similarity_to_a(a_m) / similarity_to_a(a_p))
+        c_beta = np.sqrt(similarity_to_a(b_m) / similarity_to_a(b_p))
+        c = c_beta / c_alpha
+        assert rho <= 2 / (c + 1 / c) + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem64_rho(-0.5, 0.5, -0.2, 0.8)  # beta_- not below alpha_-
+        with pytest.raises(ValueError):
+            theorem64_rho(0.1, -0.1, -0.6, 0.6)  # alpha interval inverted

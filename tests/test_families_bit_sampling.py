@@ -1,0 +1,110 @@
+"""Tests for bit-sampling families (Section 4.1 + Theorem 5.2 blocks)."""
+
+import numpy as np
+import pytest
+
+from repro.booleancube.noise import exact_probabilistic_cpf
+from repro.booleancube.walsh import enumerate_cube
+from repro.core.estimate import estimate_collision_probability
+from repro.families.bit_sampling import (
+    AntiBitSampling,
+    BitSampling,
+    ConstantCollisionFamily,
+)
+from repro.spaces import hamming
+
+D = 24
+
+
+def _sampler(r):
+    def sampler(n, rng):
+        return hamming.pairs_at_distance(n, D, r, rng)
+
+    return sampler
+
+
+class TestBitSampling:
+    def test_cpf_matches_measurement(self):
+        fam = BitSampling(D)
+        for r in [0, 6, 12, 24]:
+            est = estimate_collision_probability(
+                fam, _sampler(r), n_functions=200, pairs_per_function=80, rng=r
+            )
+            assert est.contains(1 - r / D), f"r={r}"
+
+    def test_identical_points_always_collide(self):
+        fam = BitSampling(D)
+        x = hamming.random_points(50, D, rng=0)
+        for pair in fam.sample_pairs(10, rng=1):
+            assert np.all(pair.collides(x, x))
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            BitSampling(0)
+
+    def test_wrong_point_dimension_raises(self):
+        pair = BitSampling(8).sample(rng=0)
+        # Force sampling of a coordinate >= 4 to guarantee failure.
+        bad = [p for p in BitSampling(8).sample_pairs(50, rng=3) if p.meta["coordinate"] >= 4]
+        x = hamming.random_points(2, 4, rng=2)
+        with pytest.raises(ValueError):
+            bad[0].hash_data(x)
+
+
+class TestAntiBitSampling:
+    def test_cpf_is_increasing_in_distance(self):
+        fam = AntiBitSampling(D)
+        ests = [
+            estimate_collision_probability(
+                fam, _sampler(r), n_functions=200, pairs_per_function=80, rng=r
+            ).p_hat
+            for r in [2, 12, 22]
+        ]
+        assert ests[0] < ests[1] < ests[2]
+
+    def test_identical_points_never_collide(self):
+        """The paper's 'x = y must collide' objection is void for pairs."""
+        fam = AntiBitSampling(D)
+        x = hamming.random_points(50, D, rng=0)
+        for pair in fam.sample_pairs(10, rng=1):
+            assert not np.any(pair.collides(x, x))
+
+    def test_antipodal_points_always_collide(self):
+        fam = AntiBitSampling(D)
+        x = hamming.random_points(50, D, rng=2)
+        for pair in fam.sample_pairs(10, rng=3):
+            assert np.all(pair.collides(x, 1 - x))
+
+    def test_exact_probabilistic_cpf_matches_theory(self):
+        """On the whole cube: f_hat(alpha) = (1 - alpha)/2 exactly."""
+        d = 8
+        cube = enumerate_cube(d)
+        fam = AntiBitSampling(d)
+        pairs = fam.sample_pairs(16, rng=4)
+        labels = [(p.hash_data(cube)[:, 0], p.hash_query(cube)[:, 0]) for p in pairs]
+        for alpha in [0.0, 0.3, 0.7]:
+            got = exact_probabilistic_cpf(labels, alpha)
+            assert got == pytest.approx((1 - alpha) / 2, abs=1e-12)
+
+
+class TestConstantCollisionFamily:
+    @pytest.mark.parametrize("p", [0.0, 0.3, 1.0])
+    def test_collision_rate(self, p):
+        fam = ConstantCollisionFamily(p)
+        x = hamming.random_points(1, D, rng=0)
+        collisions = sum(
+            bool(pair.collides(x, x)[0]) for pair in fam.sample_pairs(600, rng=1)
+        )
+        assert collisions / 600 == pytest.approx(p, abs=0.06)
+
+    def test_distance_independence(self):
+        fam = ConstantCollisionFamily(0.5)
+        pair = fam.sample(rng=5)
+        x, y = hamming.pairs_at_distance(30, D, 12, rng=6)
+        hits = pair.collides(x, y)
+        # Within one sampled pair the outcome is the same for all points.
+        assert np.all(hits) or not np.any(hits)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            ConstantCollisionFamily(1.2)

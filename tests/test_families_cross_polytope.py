@@ -1,0 +1,145 @@
+"""Tests for cross-polytope LSH / DSH (Section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimate import estimate_collision_probability
+from repro.families.cross_polytope import (
+    CrossPolytope,
+    FastCrossPolytope,
+    asymptotic_log_inv_cpf,
+    collision_probability,
+    negated_cross_polytope,
+)
+from repro.spaces import sphere
+
+D = 16
+
+
+def _sampler(alpha, d=D):
+    def sampler(n, rng):
+        return sphere.pairs_at_inner_product(n, d, alpha, rng)
+
+    return sampler
+
+
+class TestCrossPolytope:
+    def test_identical_points_always_collide(self):
+        fam = CrossPolytope(D)
+        x = sphere.random_points(40, D, rng=0)
+        for pair in fam.sample_pairs(5, rng=1):
+            assert np.all(pair.collides(x, x))
+
+    def test_antipodal_points_never_collide(self):
+        fam = CrossPolytope(D)
+        x = sphere.random_points(40, D, rng=2)
+        for pair in fam.sample_pairs(5, rng=3):
+            assert not np.any(pair.collides(x, -x))
+
+    def test_hash_range(self):
+        pair = CrossPolytope(D).sample(rng=4)
+        values = pair.hash_data(sphere.random_points(200, D, rng=5))
+        assert values.min() >= 0 and values.max() < 2 * D
+
+    def test_cpf_increasing_in_inner_product(self):
+        fam = CrossPolytope(D)
+        ps = [
+            estimate_collision_probability(
+                fam, _sampler(a), n_functions=120, pairs_per_function=60, rng=6
+            ).p_hat
+            for a in [-0.5, 0.0, 0.7]
+        ]
+        assert ps[0] < ps[1] < ps[2]
+
+    def test_measured_matches_projected_space_estimator(self):
+        """Full hashing and the cheap projected-space estimator agree."""
+        alpha = 0.5
+        est = estimate_collision_probability(
+            CrossPolytope(D),
+            _sampler(alpha),
+            n_functions=250,
+            pairs_per_function=100,
+            rng=7,
+        )
+        fast = collision_probability(alpha, D, n_samples=400_000, rng=8)
+        assert est.contains(fast)
+
+
+class TestNegatedCrossPolytope:
+    def test_cpf_decreasing_in_inner_product(self):
+        fam = negated_cross_polytope(D)
+        ps = [
+            estimate_collision_probability(
+                fam, _sampler(a), n_functions=120, pairs_per_function=60, rng=9
+            ).p_hat
+            for a in [-0.7, 0.0, 0.5]
+        ]
+        assert ps[0] > ps[1] > ps[2]
+
+    def test_corollary22_mirror_identity(self):
+        """f_-(alpha) = f_+(-alpha) via the projected-space estimator."""
+        plus = collision_probability(0.4, D, negated=False, n_samples=300_000, rng=10)
+        minus = collision_probability(-0.4, D, negated=True, n_samples=300_000, rng=11)
+        assert plus == pytest.approx(minus, rel=0.08)
+
+    def test_identical_points_rarely_collide(self):
+        """The anti-LSH property: close points avoid collisions."""
+        fam = negated_cross_polytope(D)
+        x = sphere.random_points(60, D, rng=12)
+        rate = np.mean(
+            [pair.collides(x, x).mean() for pair in fam.sample_pairs(20, rng=13)]
+        )
+        sym_rate = np.mean(
+            [
+                pair.collides(x, x).mean()
+                for pair in CrossPolytope(D).sample_pairs(20, rng=14)
+            ]
+        )
+        assert rate < 0.05 and sym_rate == 1.0
+
+
+class TestFastCrossPolytope:
+    def test_identical_points_always_collide(self):
+        fam = FastCrossPolytope(24)  # exercises padding to 32
+        x = sphere.random_points(30, 24, rng=15)
+        for pair in fam.sample_pairs(5, rng=16):
+            assert np.all(pair.collides(x, x))
+
+    def test_cpf_shape_comparable_to_dense(self):
+        alpha = 0.6
+        dense = estimate_collision_probability(
+            CrossPolytope(D), _sampler(alpha), n_functions=150, pairs_per_function=80, rng=17
+        )
+        fast = estimate_collision_probability(
+            FastCrossPolytope(D), _sampler(alpha), n_functions=150, pairs_per_function=80, rng=18
+        )
+        # Pseudo-rotations approximate the dense behaviour.
+        assert fast.p_hat == pytest.approx(dense.p_hat, abs=0.05)
+
+
+class TestAsymptotics:
+    def test_theorem21_slope_in_d(self):
+        """ln(1/f(alpha)) grows like ((1-alpha)/(1+alpha)) ln d."""
+        alpha = 0.5
+        ratio_small = -np.log(
+            collision_probability(alpha, 8, n_samples=400_000, rng=19)
+        ) / np.log(8)
+        ratio_large = -np.log(
+            collision_probability(alpha, 128, n_samples=400_000, rng=20)
+        ) / np.log(128)
+        target = (1 - alpha) / (1 + alpha)
+        # The O(ln ln d / ln d) correction shrinks with d: larger d is closer.
+        assert abs(ratio_large - target) < abs(ratio_small - target) + 0.05
+        assert ratio_large == pytest.approx(target, abs=0.25)
+
+    def test_asymptotic_helper_values(self):
+        assert asymptotic_log_inv_cpf(0.0, 10) == pytest.approx(np.log(10))
+        assert asymptotic_log_inv_cpf(0.5, 10, negated=True) == pytest.approx(
+            3.0 * np.log(10)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            collision_probability(1.0, 8)
+        with pytest.raises(ValueError):
+            asymptotic_log_inv_cpf(0.0, 1)

@@ -1,0 +1,134 @@
+"""Tests for the shifted Euclidean family (Section 4.2, Thm 4.1, Fig 1)."""
+
+import numpy as np
+import pytest
+from scipy import integrate
+from scipy.stats import norm
+
+from repro.core.estimate import estimate_collision_probability
+from repro.families.euclidean_lsh import (
+    ShiftedEuclideanCPF,
+    ShiftedGaussianProjection,
+    shifted_collision_probability,
+    theorem41_rho_minus,
+    theorem41_w,
+)
+from repro.spaces import euclidean
+
+D = 8
+
+
+def _sampler(delta):
+    def sampler(n, rng):
+        return euclidean.pairs_at_distance(n, D, delta, rng)
+
+    return sampler
+
+
+class TestClosedForm:
+    @pytest.mark.parametrize("k,w", [(0, 1.0), (1, 0.7), (3, 1.0), (5, 2.0)])
+    @pytest.mark.parametrize("delta", [0.25, 1.0, 4.0])
+    def test_matches_quadrature(self, k, w, delta):
+        tri = lambda s: max(0.0, 1 - abs(s - k * w) / w)  # noqa: E731
+        expected, _ = integrate.quad(
+            lambda s: norm.pdf(s / delta) / delta * tri(s), k * w - w, k * w + w
+        )
+        assert shifted_collision_probability(delta, k, w) == pytest.approx(
+            expected, abs=1e-10
+        )
+
+    def test_k0_matches_datar_formula(self):
+        w = 1.0
+        for delta in [0.3, 1.0, 2.0]:
+            classic = (
+                2 * norm.cdf(w / delta)
+                - 1
+                - 2 * delta / (np.sqrt(2 * np.pi) * w) * (1 - np.exp(-(w**2) / (2 * delta**2)))
+            )
+            assert shifted_collision_probability(delta, 0, w) == pytest.approx(classic)
+
+    def test_distance_zero(self):
+        assert shifted_collision_probability(0.0, 0, 1.0) == 1.0
+        assert shifted_collision_probability(0.0, 3, 1.0) == 0.0
+
+    def test_figure1_shape(self):
+        """k=3, w=1: unimodal, peak ~0.08, steeper left flank than right."""
+        deltas = np.linspace(0.1, 10.0, 300)
+        values = np.asarray(shifted_collision_probability(deltas, 3, 1.0))
+        peak = int(np.argmax(values))
+        assert 0 < peak < len(deltas) - 1
+        assert values[peak] == pytest.approx(0.081, abs=0.005)
+        assert 2.0 < deltas[peak] < 4.0
+        # Unimodality.
+        assert np.all(np.diff(values[: peak + 1]) >= -1e-12)
+        assert np.all(np.diff(values[peak:]) <= 1e-12)
+        # Asymmetry: value drops faster moving left of the peak than right.
+        left = values[peak] - values[max(0, peak - 30)]
+        right = values[peak] - values[min(len(values) - 1, peak + 30)]
+        assert left > right
+
+    def test_vectorized_matches_scalar(self):
+        deltas = np.array([0.5, 1.5, 3.0])
+        vec = shifted_collision_probability(deltas, 2, 0.8)
+        scalars = [shifted_collision_probability(float(d), 2, 0.8) for d in deltas]
+        np.testing.assert_allclose(vec, scalars)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shifted_collision_probability(1.0, -1, 1.0)
+        with pytest.raises(ValueError):
+            shifted_collision_probability(-1.0, 1, 1.0)
+        with pytest.raises(ValueError):
+            shifted_collision_probability(1.0, 1, 0.0)
+
+
+class TestFamilyMeasurement:
+    @pytest.mark.parametrize("k", [0, 2])
+    def test_measured_cpf_matches_closed_form(self, k):
+        fam = ShiftedGaussianProjection(D, w=1.0, k=k)
+        for delta in [0.5, 2.0, 4.0]:
+            est = estimate_collision_probability(
+                fam, _sampler(delta), n_functions=250, pairs_per_function=80, rng=k * 10 + 1
+            )
+            expected = shifted_collision_probability(delta, k, 1.0)
+            assert est.contains(expected), f"k={k} delta={delta}: {est} vs {expected}"
+
+    def test_symmetry_flag(self):
+        assert ShiftedGaussianProjection(D, 1.0, k=0).is_symmetric
+        assert not ShiftedGaussianProjection(D, 1.0, k=2).is_symmetric
+
+    def test_hash_values_shift_by_k(self):
+        fam = ShiftedGaussianProjection(D, 1.0, k=4)
+        pair = fam.sample(rng=0)
+        x = euclidean.random_points(20, D, rng=1)
+        np.testing.assert_array_equal(
+            pair.hash_query(x)[:, 0] - pair.hash_data(x)[:, 0], 4
+        )
+
+    def test_cpf_object(self):
+        cpf = ShiftedEuclideanCPF(3, 1.0)
+        assert cpf.arg_kind == "distance"
+        assert cpf(3.0) == pytest.approx(
+            float(shifted_collision_probability(3.0, 3, 1.0))
+        )
+
+
+class TestTheorem41:
+    def test_w_formula(self):
+        assert theorem41_w(2.0) == pytest.approx(np.sqrt(2 * np.pi) / 4)
+        with pytest.raises(ValueError):
+            theorem41_w(1.0)
+
+    @pytest.mark.parametrize("c", [1.5, 2.0, 3.0])
+    def test_rho_minus_converges_to_inverse_c_squared(self, c):
+        """rho_- * c^2 = 1 + O(1/k): check it decreases towards 1 in k."""
+        values = [theorem41_rho_minus(k, c) * c**2 for k in (4, 8, 16, 32)]
+        errors = [abs(v - 1.0) for v in values]
+        assert errors[-1] < errors[0]
+        assert values[-1] == pytest.approx(1.0, abs=0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem41_rho_minus(0, 2.0)
+        with pytest.raises(ValueError):
+            theorem41_rho_minus(4, 1.0)

@@ -1,0 +1,141 @@
+"""Tests for the Gaussian filter families D+/D- (Section 2.2, Thm 1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimate import estimate_collision_probability
+from repro.families.filters import (
+    GaussianFilterCPF,
+    GaussianFilterFamily,
+    cpf_lower_bound,
+    cpf_upper_bound,
+    default_num_projections,
+    filter_collision_probability,
+    joint_tail_probability,
+    szarek_werner_lower_bound,
+    theorem12_log_inv_cpf,
+)
+from repro.spaces import sphere
+from scipy.stats import norm
+
+D = 10
+
+
+def _sampler(alpha):
+    def sampler(n, rng):
+        return sphere.pairs_at_inner_product(n, D, alpha, rng)
+
+    return sampler
+
+
+class TestTailMath:
+    def test_szarek_werner_is_lower_bound(self):
+        for t in [0.5, 1.0, 2.0, 3.0]:
+            assert szarek_werner_lower_bound(t) <= norm.sf(t)
+
+    def test_default_m_scaling(self):
+        # m = O(t^4 e^{t^2/2}) grows steeply with t.
+        assert default_num_projections(1.0) < default_num_projections(2.0)
+        assert default_num_projections(2.0) < default_num_projections(3.0)
+
+    def test_joint_tail_limits(self):
+        t = 1.5
+        assert joint_tail_probability(1.0, t) == pytest.approx(norm.sf(t))
+        assert joint_tail_probability(-1.0, t) == 0.0
+        # Independence at alpha = 0.
+        assert joint_tail_probability(0.0, t) == pytest.approx(norm.sf(t) ** 2)
+
+    def test_joint_tail_monotone_in_alpha(self):
+        t = 2.0
+        vals = [joint_tail_probability(a, t) for a in [-0.5, 0.0, 0.5, 0.9]]
+        assert all(v1 < v2 for v1, v2 in zip(vals, vals[1:]))
+
+
+class TestAnalyticCpf:
+    def test_dplus_increasing_dminus_decreasing(self):
+        t = 2.0
+        alphas = np.linspace(-0.7, 0.7, 8)
+        plus = GaussianFilterCPF(t, negated=False)(alphas)
+        minus = GaussianFilterCPF(t, negated=True)(alphas)
+        assert np.all(np.diff(plus) > 0)
+        assert np.all(np.diff(minus) < 0)
+
+    def test_lemma_a1_mirror(self):
+        """f_+(alpha) = f_-(-alpha) exactly."""
+        t = 1.8
+        for alpha in [-0.5, 0.0, 0.3]:
+            assert filter_collision_probability(alpha, t, negated=False) == (
+                pytest.approx(filter_collision_probability(-alpha, t, negated=True))
+            )
+
+    def test_lemma_a5_bounds_bracket_cpf(self):
+        t = 2.5
+        m = default_num_projections(t)
+        for alpha in [-0.4, 0.0, 0.4]:
+            f = filter_collision_probability(alpha, t, m)
+            assert f <= cpf_upper_bound(alpha, t) + 1e-12
+            assert f >= cpf_lower_bound(alpha, t) - 1e-12
+
+    def test_theorem12_leading_term_dominates(self):
+        """ln(1/f) / (t^2/2) converges to (1+alpha)/(1-alpha) for D-."""
+        alpha = 0.3
+        target = (1 + alpha) / (1 - alpha)
+        ratios = []
+        for t in [2.0, 3.0, 4.0]:
+            f = filter_collision_probability(alpha, t, negated=True)
+            ratios.append(np.log(1 / f) / (t**2 / 2))
+        errors = [abs(r - target) for r in ratios]
+        assert errors[-1] < errors[0]  # Theta(log t)/t^2 correction shrinks
+        assert theorem12_log_inv_cpf(alpha, 4.0) == pytest.approx(
+            target * 16 / 2
+        )
+
+
+class TestFamilyMeasurement:
+    @pytest.mark.parametrize("negated", [False, True])
+    @pytest.mark.parametrize("alpha", [-0.4, 0.0, 0.5])
+    def test_measured_cpf_matches_analytic(self, negated, alpha):
+        t = 1.5
+        fam = GaussianFilterFamily(D, t=t, negated=negated)
+        est = estimate_collision_probability(
+            fam, _sampler(alpha), n_functions=150, pairs_per_function=100, rng=1
+        )
+        expected = filter_collision_probability(alpha, t, fam.m, negated)
+        assert est.contains(expected), f"{est} vs {expected}"
+
+    def test_small_m_override(self):
+        fam = GaussianFilterFamily(D, t=1.0, m=5)
+        est = estimate_collision_probability(
+            fam, _sampler(0.5), n_functions=200, pairs_per_function=80, rng=2
+        )
+        expected = filter_collision_probability(0.5, 1.0, 5)
+        assert est.contains(expected)
+
+    def test_uncaptured_points_never_collide(self):
+        # With m=1 many points miss the single cap; sentinels must differ.
+        fam = GaussianFilterFamily(D, t=3.0, m=1)
+        pair = fam.sample(rng=3)
+        x = sphere.random_points(300, D, rng=4)
+        h = pair.hash_data(x)[:, 0]
+        g = pair.hash_query(x)[:, 0]
+        uncaptured = (h == fam.m + 1) & (g == fam.m + 2)
+        assert np.count_nonzero(uncaptured) > 250  # most points miss the cap
+        assert not np.any(h[h == fam.m + 1] == g[h == fam.m + 1])
+
+    def test_chunked_evaluation_consistency(self):
+        """First-hit indices are identical regardless of how many points are
+        evaluated together (chunk regeneration must be deterministic)."""
+        fam = GaussianFilterFamily(D, t=1.2)
+        pair = fam.sample(rng=5)
+        x = sphere.random_points(64, D, rng=6)
+        together = pair.hash_data(x)
+        one_by_one = np.vstack([pair.hash_data(x[i : i + 1]) for i in range(64)])
+        np.testing.assert_array_equal(together, one_by_one)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianFilterFamily(0, t=1.0)
+        with pytest.raises(ValueError):
+            GaussianFilterFamily(D, t=-1.0)
+        with pytest.raises(ValueError):
+            GaussianFilterFamily(D, t=1.0, m=0)

@@ -1,0 +1,106 @@
+"""Tests for the Section 6.1 Hamming annulus recipe."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimate import estimate_collision_probability
+from repro.families.hamming_annulus import (
+    HammingAnnulusFamily,
+    balanced_exponents,
+    hamming_annulus_cpf,
+)
+from repro.index.annulus import AnnulusIndex
+from repro.spaces import hamming
+
+D = 64
+
+
+class TestCpf:
+    def test_peak_location(self):
+        cpf = hamming_annulus_cpf(6, 2)  # peak at 2/8 = 0.25
+        ts = np.linspace(0.01, 0.99, 197)
+        values = cpf(ts)
+        assert ts[int(np.argmax(values))] == pytest.approx(0.25, abs=0.02)
+
+    def test_unimodal(self):
+        cpf = hamming_annulus_cpf(4, 4)
+        ts = np.linspace(0, 1, 101)
+        values = cpf(ts)
+        peak = int(np.argmax(values))
+        assert np.all(np.diff(values[: peak + 1]) >= -1e-12)
+        assert np.all(np.diff(values[peak:]) <= 1e-12)
+
+    def test_edge_cases_vanish(self):
+        cpf = hamming_annulus_cpf(3, 2)
+        assert cpf(0.0) == 0.0
+        assert cpf(1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hamming_annulus_cpf(0, 0)
+        with pytest.raises(ValueError):
+            hamming_annulus_cpf(-1, 2)
+
+
+class TestBalancedExponents:
+    def test_rule(self):
+        k1, k2 = balanced_exponents(0.25, 2)
+        assert (k1, k2) == (6, 2)
+
+    def test_peak_half(self):
+        k1, k2 = balanced_exponents(0.5, 3)
+        assert k1 == k2 == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            balanced_exponents(0.0, 2)
+        with pytest.raises(ValueError):
+            balanced_exponents(0.5, 0)
+
+
+class TestFamily:
+    def test_measured_cpf_matches_analytic(self):
+        fam = HammingAnnulusFamily(D, peak=0.25, k2=2)
+        for r in [4, 16, 32, 48]:
+            est = estimate_collision_probability(
+                fam,
+                lambda n, rng, rr=r: hamming.pairs_at_distance(n, D, rr, rng),
+                n_functions=250,
+                pairs_per_function=80,
+                rng=r,
+            )
+            expected = float(fam.cpf(r / D))
+            assert est.contains(expected), f"r={r}"
+
+    def test_peak_attribute(self):
+        fam = HammingAnnulusFamily(D, peak=0.3, k2=3)
+        assert fam.peak == pytest.approx(0.3, abs=0.05)
+
+    def test_drives_hamming_annulus_search(self):
+        """End to end: binary annulus queries via Theorem 6.1's structure.
+
+        With k2=2 the planted point's per-table collision probability is
+        f(0.25) = 0.75^6 * 0.25^2 ~ 0.011, so L=400 tables give ~4.4
+        expected hits; we build three independent indexes and require most
+        to succeed.
+        """
+        rng = np.random.default_rng(0)
+        n, r_target = 300, 16  # relative 0.25
+        query = hamming.random_points(1, D, rng)[0]
+        points = hamming.flip_bits(np.repeat(query[None, :], n, axis=0), 40, rng)
+        points[5] = hamming.flip_bits(query[None, :], r_target, rng)[0]
+        fam = HammingAnnulusFamily(D, peak=0.25, k2=2)
+        found = 0
+        for seed in range(3):
+            index = AnnulusIndex(
+                points,
+                fam,
+                interval=(10, 22),  # absolute Hamming distances
+                proximity=lambda q, pts: np.count_nonzero(
+                    pts != q[None, :], axis=1
+                ).astype(float),
+                n_tables=400,
+                rng=seed,
+            )
+            found += index.query(query).found
+        assert found >= 2

@@ -1,0 +1,181 @@
+"""Tests for the Theorem 5.2 polynomial Hamming construction."""
+
+import numpy as np
+import pytest
+
+from repro.booleancube.noise import exact_probabilistic_cpf
+from repro.booleancube.walsh import enumerate_cube
+from repro.core.estimate import estimate_collision_probability
+from repro.families.polynomial_hamming import (
+    build_polynomial_family,
+    mixture_polynomial_family,
+    paper_delta,
+)
+from repro.spaces import hamming
+
+D = 48
+
+
+def _sampler(r):
+    def sampler(n, rng):
+        return hamming.pairs_at_distance(n, D, r, rng)
+
+    return sampler
+
+
+def _assert_family_matches_cpf(scheme, rs, rng_base=0):
+    for r in rs:
+        est = estimate_collision_probability(
+            scheme.family,
+            _sampler(r),
+            n_functions=250,
+            pairs_per_function=60,
+            rng=rng_base + r,
+        )
+        expected = float(scheme.cpf(r / D))
+        assert est.contains(expected), f"r={r}: {est} vs expected {expected}"
+
+
+class TestRealRootPolynomials:
+    def test_single_negative_root(self):
+        # P(t) = t + 0.5, root -0.5: Delta = 2, CPF (t + 0.5)/2.
+        scheme = build_polynomial_family([0.5, 1.0], D)
+        assert scheme.delta == pytest.approx(2.0)
+        _assert_family_matches_cpf(scheme, [0, 12, 24, 48])
+
+    def test_single_positive_root(self):
+        # P(t) = 2 - t, root 2: Delta = 2, CPF 1 - t/2.
+        scheme = build_polynomial_family([2.0, -1.0], D)
+        assert scheme.delta == pytest.approx(2.0)
+        _assert_family_matches_cpf(scheme, [0, 24, 48], rng_base=100)
+
+    def test_zero_root_gives_anti_bit_sampling(self):
+        # P(t) = t.
+        scheme = build_polynomial_family([0.0, 1.0], D)
+        assert scheme.delta == pytest.approx(1.0)
+        _assert_family_matches_cpf(scheme, [0, 12, 36], rng_base=200)
+
+    def test_quadratic_mixed_roots(self):
+        # P(t) = (t + 0.5)(2 - t): roots -0.5 and 2.
+        scheme = build_polynomial_family([1.0, 1.5, -1.0], D)
+        assert scheme.delta == pytest.approx(4.0)
+        _assert_family_matches_cpf(scheme, [0, 24, 48], rng_base=300)
+
+    def test_large_negative_root_scaling(self):
+        # P(t) = t + 3: |z| = 3 > 1 so Delta = 2 * 3 = 6.
+        scheme = build_polynomial_family([3.0, 1.0], D)
+        assert scheme.delta == pytest.approx(6.0)
+        _assert_family_matches_cpf(scheme, [0, 24, 48], rng_base=400)
+
+
+class TestComplexRootPolynomials:
+    def test_negative_real_part_pair(self):
+        # P(t) = t^2 + t + 0.5, roots -0.5 +- 0.5i.
+        scheme = build_polynomial_family([0.5, 1.0, 1.0], D)
+        assert scheme.delta == pytest.approx(1 + 1 + 0.5)
+        _assert_family_matches_cpf(scheme, [0, 24, 48], rng_base=500)
+
+    def test_positive_real_part_pair(self):
+        # P(t) = (t - 1.5)^2 + 1 = t^2 - 3t + 3.25, roots 1.5 +- i.
+        scheme = build_polynomial_family([3.25, -3.0, 1.0], D)
+        assert scheme.delta == pytest.approx(1.5**2 + 1.0)
+        _assert_family_matches_cpf(scheme, [0, 24, 48], rng_base=600)
+
+    def test_construction_delta_never_worse_than_paper(self):
+        cases = [
+            [0.5, 1.0, 1.0],        # complex pair, negative real part
+            [3.25, -3.0, 1.0],      # complex pair, real part >= 1
+            [1.0, 1.5, -1.0],       # mixed real roots
+            [3.0, 1.0],             # real root < -1
+            [0.0, 0.5, 0.5],        # zero root + negative real root
+        ]
+        for coeffs in cases:
+            scheme = build_polynomial_family(coeffs, D)
+            assert scheme.delta <= scheme.theorem_delta + 1e-9, coeffs
+
+
+class TestExactVerification:
+    def test_exact_cpf_on_small_cube(self):
+        """Noise-operator-exact collision probabilities match P(t)/Delta.
+
+        On the full cube the probabilistic CPF at correlation alpha is the
+        binomial average of f(k/d); we instead verify pointwise by fixing
+        function pairs and comparing against exact distance-conditional
+        collision rates computed by brute force.
+        """
+        d = 6
+        scheme = build_polynomial_family([0.5, 1.0], d)  # CPF (t + 1/2)/2
+        cube = enumerate_cube(d)
+        pairs = scheme.family.sample_pairs(800, rng=7)
+        # Exact per-distance collision rate averaged over sampled pairs.
+        x = cube[0:1]  # the origin; by symmetry any point works
+        rates = np.zeros(d + 1)
+        counts = np.zeros(d + 1)
+        dist_from_origin = cube.sum(axis=1)
+        for pair in pairs:
+            hx = pair.hash_data(x)
+            gy = pair.hash_query(cube)
+            hit = np.all(gy == hx, axis=1)
+            for r in range(d + 1):
+                mask = dist_from_origin == r
+                rates[r] += hit[mask].mean()
+                counts[r] += 1
+        rates /= counts
+        expected = scheme.cpf(np.arange(d + 1) / d)
+        np.testing.assert_allclose(rates, expected, atol=0.05)
+
+
+class TestValidation:
+    def test_root_in_unit_interval_rejected(self):
+        with pytest.raises(ValueError, match="real part"):
+            build_polynomial_family([-0.5, 1.0], D)  # root 0.5
+
+    def test_complex_root_with_real_part_in_interval_rejected(self):
+        # roots 0.5 +- 0.5i: P(t) = t^2 - t + 0.5.
+        with pytest.raises(ValueError, match="real part"):
+            build_polynomial_family([0.5, -1.0, 1.0], D)
+
+    def test_negative_polynomial_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            build_polynomial_family([-1.0, -1.0], D)
+
+    def test_constant_rejected(self):
+        with pytest.raises(ValueError, match="degree"):
+            build_polynomial_family([0.5], D)
+
+    def test_zero_leading_coefficient_rejected(self):
+        with pytest.raises(ValueError, match="leading"):
+            build_polynomial_family([0.5, 1.0, 0.0], D)
+
+
+class TestPaperDelta:
+    def test_matches_theorem_formula_by_hand(self):
+        # P(t) = t + 3: psi = 1 root with negative real part, |z| = 3 > 1.
+        assert paper_delta([3.0, 1.0]) == pytest.approx(1.0 * 2 * 3)
+        # P(t) = 2 - t -> a_k = -1, root 2, psi = 0: |a_k| * 2 = 2.
+        assert paper_delta([2.0, -1.0]) == pytest.approx(2.0)
+
+
+class TestMixtureRoute:
+    def test_exact_cpf_no_scaling(self):
+        fam, cpf = mixture_polynomial_family([0.1, 0.2, 0.3, 0.4], D)
+        for r in [0, 24, 48]:
+            est = estimate_collision_probability(
+                fam, _sampler(r), n_functions=400, pairs_per_function=50, rng=800 + r
+            )
+            assert est.contains(float(cpf(r / D))), f"r={r}"
+
+    def test_slack_handled(self):
+        fam, cpf = mixture_polynomial_family([0.2, 0.3], D)  # sums to 0.5
+        est = estimate_collision_probability(
+            fam, _sampler(24), n_functions=1200, pairs_per_function=50, rng=901
+        )
+        assert est.contains(0.2 + 0.3 * 0.5)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            mixture_polynomial_family([0.5, -0.2], D)
+
+    def test_sum_above_one_rejected(self):
+        with pytest.raises(ValueError, match="<= 1"):
+            mixture_polynomial_family([0.8, 0.5], D)

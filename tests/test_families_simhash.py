@@ -1,0 +1,64 @@
+"""Tests for SimHash and its angular CPF."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimate import estimate_collision_probability, estimate_cpf_curve
+from repro.families.simhash import SimHash
+from repro.spaces import sphere
+
+D = 12
+
+
+def _sampler(alpha):
+    def sampler(n, rng):
+        return sphere.pairs_at_inner_product(n, D, alpha, rng)
+
+    return sampler
+
+
+class TestSimHash:
+    @pytest.mark.parametrize("alpha", [-0.8, -0.3, 0.0, 0.5, 0.9])
+    def test_cpf_matches_measurement(self, alpha):
+        fam = SimHash(D)
+        est = estimate_collision_probability(
+            fam, _sampler(alpha), n_functions=250, pairs_per_function=80, rng=0
+        )
+        expected = 1 - np.arccos(alpha) / np.pi
+        assert est.contains(expected), f"alpha={alpha}: {est} vs {expected}"
+
+    def test_symmetric(self):
+        assert SimHash(D).is_symmetric
+        pair = SimHash(D).sample(rng=1)
+        x = sphere.random_points(20, D, rng=2)
+        np.testing.assert_array_equal(pair.hash_data(x), pair.hash_query(x))
+
+    def test_output_is_binary(self):
+        pair = SimHash(D).sample(rng=3)
+        values = pair.hash_data(sphere.random_points(100, D, rng=4))
+        assert set(np.unique(values)) <= {0, 1}
+
+    def test_scale_invariance(self):
+        """SimHash sees only directions; norms are irrelevant."""
+        pair = SimHash(D).sample(rng=5)
+        x = sphere.random_points(50, D, rng=6)
+        np.testing.assert_array_equal(pair.hash_data(x), pair.hash_data(3.7 * x))
+
+    def test_curve_is_monotone_increasing(self):
+        ests = estimate_cpf_curve(
+            SimHash(D),
+            _sampler,
+            [-0.6, 0.0, 0.6],
+            n_functions=200,
+            pairs_per_function=60,
+            rng=7,
+        )
+        ps = [e.p_hat for e in ests]
+        assert ps[0] < ps[1] < ps[2]
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            SimHash(0)
+        pair = SimHash(4).sample(rng=8)
+        with pytest.raises(ValueError, match="dimension"):
+            pair.hash_data(np.ones((1, 5)))

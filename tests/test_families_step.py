@@ -1,0 +1,59 @@
+"""Tests for step-function CPF design (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimate import estimate_collision_probability
+from repro.families.step import design_step_family, step_quality
+from repro.spaces import euclidean
+
+D = 6
+
+
+class TestDesign:
+    def test_flatness_on_target_region(self):
+        design = design_step_family(D, r_flat=5.0, level=0.1, n_components=5)
+        assert design.f_max / design.f_min < 1.25
+        assert design.f_min > 0.05
+
+    def test_tail_below_flat_region(self):
+        design = design_step_family(D, r_flat=4.0, level=0.1, n_components=5)
+        assert design.tail < design.f_min
+
+    def test_weights_form_probability_vector(self):
+        design = design_step_family(D, r_flat=5.0, level=0.08, n_components=6)
+        assert design.weights.min() >= 0
+        assert design.weights.sum() == pytest.approx(1.0)
+
+    def test_measured_collision_rates_match_design(self):
+        design = design_step_family(D, r_flat=5.0, level=0.1, n_components=5)
+        for delta in [0.5, 2.5, 5.0, 12.0]:
+            est = estimate_collision_probability(
+                design.family,
+                lambda n, rng, dd=delta: euclidean.pairs_at_distance(n, D, dd, rng),
+                n_functions=400,
+                pairs_per_function=50,
+                rng=int(delta * 10),
+            )
+            assert est.contains(float(design.cpf(delta))), f"delta={delta}"
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            design_step_family(D, r_flat=5.0, level=0.9)
+        with pytest.raises(ValueError):
+            design_step_family(D, r_flat=5.0, level=0.1, n_components=1)
+        with pytest.raises(ValueError):
+            design_step_family(D, r_flat=-1.0, level=0.1)
+
+
+class TestStepQuality:
+    def test_reports_extremes(self):
+        design = design_step_family(D, r_flat=5.0, level=0.1, n_components=5)
+        f_min, f_max, tail = step_quality(design.cpf, 5.0, 10.0)
+        assert f_min <= f_max
+        assert tail <= f_max
+
+    def test_r_cut_must_exceed_r_flat(self):
+        design = design_step_family(D, r_flat=5.0, level=0.1, n_components=4)
+        with pytest.raises(ValueError):
+            step_quality(design.cpf, 5.0, 4.0)

@@ -1,0 +1,85 @@
+"""Tests for output-sensitive range reporting (Theorem 6.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.combinators import PoweredFamily
+from repro.data.synthetic import planted_euclidean_range
+from repro.families.euclidean_lsh import ShiftedGaussianProjection
+from repro.families.step import design_step_family
+from repro.index.range_reporting import RangeReportingIndex
+
+
+def _euclid(q, pts):
+    return np.linalg.norm(pts - q, axis=1)
+
+
+D = 8
+RADIUS = 4.0
+
+
+class TestRangeReporting:
+    def _step_index(self, inst, n_tables, rng):
+        design = design_step_family(D, r_flat=RADIUS, level=0.12, n_components=4)
+        return RangeReportingIndex(
+            inst.points, design.family, RADIUS, _euclid, n_tables, rng=rng
+        )
+
+    def test_high_recall_on_planted_instance(self):
+        inst = planted_euclidean_range(300, D, RADIUS, n_near=12, rng=0)
+        index = self._step_index(inst, n_tables=60, rng=1)
+        recall = index.recall(inst.query, set(inst.near_indices))
+        assert recall >= 0.8
+
+    def test_reported_points_within_radius(self):
+        inst = planted_euclidean_range(300, D, RADIUS, n_near=10, rng=2)
+        index = self._step_index(inst, n_tables=40, rng=3)
+        report = index.query(inst.query)
+        for idx in report.indices:
+            assert np.linalg.norm(inst.points[idx] - inst.query) <= RADIUS + 1e-9
+
+    def test_step_cpf_beats_classical_lsh_on_duplicates(self):
+        """Theorem 6.5's point: near-flat CPFs re-retrieve each in-range
+        point O(f_max/f_min) = O(1) times per unit of recall, while a
+        monotone LSH re-retrieves its closest points in almost every
+        table."""
+        inst = planted_euclidean_range(400, D, RADIUS, n_near=25, rng=4)
+        step_index = self._step_index(inst, n_tables=50, rng=5)
+        # Classical: symmetric k=0 family powered to a similar far-distance
+        # collision rate; close points then collide in almost every table.
+        classical = PoweredFamily(ShiftedGaussianProjection(D, w=4.0, k=0), 2)
+        classical_index = RangeReportingIndex(
+            inst.points, classical, RADIUS, _euclid, 50, rng=6
+        )
+        step_report = step_index.query(inst.query)
+        classical_report = classical_index.query(inst.query)
+        assert len(step_report.indices) > 0
+        assert len(classical_report.indices) > 0
+        assert (
+            step_report.retrievals_per_report
+            < classical_report.retrievals_per_report
+        )
+
+    def test_empty_candidates_report(self):
+        inst = planted_euclidean_range(50, D, RADIUS, n_near=0, rng=7)
+        # A family whose buckets will not contain the query's bucket often:
+        design = design_step_family(D, r_flat=RADIUS, level=0.12, n_components=4)
+        index = RangeReportingIndex(
+            inst.points, design.family, RADIUS, _euclid, 10, rng=8
+        )
+        report = index.query(inst.query)
+        assert report.indices == () or all(
+            np.linalg.norm(inst.points[i] - inst.query) <= RADIUS
+            for i in report.indices
+        )
+
+    def test_recall_with_empty_truth_is_one(self):
+        inst = planted_euclidean_range(50, D, RADIUS, n_near=0, rng=9)
+        index = self._step_index(inst, n_tables=10, rng=10)
+        assert index.recall(inst.query, set()) == 1.0
+
+    def test_radius_validation(self):
+        inst = planted_euclidean_range(20, D, RADIUS, n_near=2, rng=11)
+        design = design_step_family(D, r_flat=RADIUS, level=0.12, n_components=4)
+        with pytest.raises(ValueError):
+            RangeReportingIndex(inst.points, design.family, -1.0, _euclid, 5)

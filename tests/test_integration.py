@@ -1,0 +1,168 @@
+"""Integration tests: full stacks of family + combinator + index + workload.
+
+Each test exercises a pipeline the paper composes implicitly — e.g. the
+negation trick applied to SimHash, the Theorem 5.2 family satisfying the
+Theorem 1.3 bound, or the annulus index built from the equation-(2) family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bounds.monotone import verify_forward_bound, verify_reverse_bound
+from repro.core.combinators import PoweredFamily, negate_queries
+from repro.core.cpf import LambdaCPF
+from repro.core.estimate import estimate_collision_probability
+from repro.core.rho import check_decreasingly_sensitive
+from repro.families.bit_sampling import AntiBitSampling
+from repro.families.polynomial_hamming import build_polynomial_family
+from repro.families.simhash import SimHash
+from repro.families.step import design_step_family
+from repro.index.lsh_index import DSHIndex
+from repro.index.range_reporting import RangeReportingIndex
+from repro.data.synthetic import planted_euclidean_range
+from repro.spaces import euclidean, hamming, sphere
+from repro.spaces.embeddings import hamming_to_sphere
+
+
+class TestNegationTrick:
+    """Sections 2.1-2.2: negating the query point mirrors the CPF."""
+
+    def test_negated_simhash_cpf(self):
+        d = 10
+        base = SimHash(d)
+        anti = negate_queries(
+            base,
+            cpf=LambdaCPF(
+                lambda a: 1 - np.arccos(np.clip(-a, -1, 1)) / np.pi, "similarity"
+            ),
+        )
+        for alpha in [-0.6, 0.0, 0.6]:
+            est = estimate_collision_probability(
+                anti,
+                lambda n, rng, a=alpha: sphere.pairs_at_inner_product(n, d, a, rng),
+                n_functions=200,
+                pairs_per_function=80,
+                rng=1,
+            )
+            expected = 1 - np.arccos(-alpha) / np.pi
+            assert est.contains(expected), f"alpha={alpha}"
+
+    def test_negated_simhash_is_decreasingly_sensitive(self):
+        cpf = LambdaCPF(
+            lambda a: 1 - np.arccos(np.clip(-a, -1, 1)) / np.pi, "similarity"
+        )
+        # Definition 3.6 with thresholds +-0.5.
+        f_minus = 1 - np.arccos(0.5) / np.pi
+        f_plus = 1 - np.arccos(-0.5) / np.pi
+        assert check_decreasingly_sensitive(cpf, -0.5, 0.5, f_minus, f_plus)
+
+
+class TestTheorem52MeetsTheorem13:
+    """The polynomial construction is itself a DSH on the cube, so it must
+    obey the universal Lemma 3.5 / 3.10 bounds — a cross-theorem check."""
+
+    def test_polynomial_family_respects_lower_bounds(self):
+        d = 8
+        scheme = build_polynomial_family([0.5, 1.0], d)  # CPF (t + 1/2)/2
+        reverse = verify_reverse_bound(
+            scheme.family, d, [0.0, 0.3, 0.6], n_pairs=10, rng=3
+        )
+        forward = verify_forward_bound(
+            scheme.family, d, [0.0, 0.3, 0.6], n_pairs=10, rng=4
+        )
+        assert all(c.satisfied for c in reverse)
+        assert all(c.satisfied for c in forward)
+
+
+class TestPoweredAntiBitSamplingIndex:
+    """Anti-LSH through the index: at distance 0 nothing is retrieved, at
+    large distance almost everything — the inverse of a classical index."""
+
+    def test_retrieval_monotone_in_distance(self):
+        d, L = 32, 200
+        fam = PoweredFamily(AntiBitSampling(d), 2)
+        x = hamming.random_points(1, d, rng=5)
+        index = DSHIndex(fam, n_tables=L, rng=6).build(x)
+        rates = []
+        for r in [0, 8, 16, 24, 32]:
+            y = hamming.flip_bits(x, r, rng=7)
+            _, stats = index.query_candidates(y[0])
+            rates.append(stats.retrieved / L)
+        assert rates[0] == 0.0
+        assert all(a <= b + 0.05 for a, b in zip(rates, rates[1:]))
+        assert rates[-1] == pytest.approx(1.0)
+
+
+class TestStepFamilyRecallPrediction:
+    """Range reporting recall tracks 1 - (1 - f(dist))^L per point."""
+
+    def test_per_point_recall_matches_cpf(self):
+        d, radius, L = 8, 4.0, 40
+        design = design_step_family(d, r_flat=radius, level=0.12, n_components=4)
+        inst = planted_euclidean_range(200, d, radius, n_near=30, rng=8)
+        index = RangeReportingIndex(
+            inst.points,
+            design.family,
+            radius,
+            lambda q, pts: np.linalg.norm(pts - q, axis=1),
+            L,
+            rng=9,
+        )
+        report = index.query(inst.query)
+        recovered = set(report.indices)
+        hits, predictions = [], []
+        for i in inst.near_indices:
+            dist = float(np.linalg.norm(inst.points[i] - inst.query))
+            predictions.append(1 - (1 - float(design.cpf(dist))) ** L)
+            hits.append(1.0 if i in recovered else 0.0)
+        # Aggregate recall within a few points of the CPF prediction.
+        assert np.mean(hits) == pytest.approx(np.mean(predictions), abs=0.12)
+
+
+class TestSphereEmbeddedHammingPipeline:
+    """Hamming data searched through a sphere family via the standard
+    embedding — the transfer the lower-bound section relies on."""
+
+    def test_embedded_simhash_collision_rate(self):
+        d = 24
+        fam = SimHash(d)
+        x, y = hamming.pairs_at_distance(400, d, 6, rng=10)
+        ex, ey = hamming_to_sphere(x), hamming_to_sphere(y)
+        rate = np.mean(
+            [pair.collides(ex, ey).mean() for pair in fam.sample_pairs(50, rng=11)]
+        )
+        alpha = 1 - 2 * 6 / d
+        expected = 1 - np.arccos(alpha) / np.pi
+        assert rate == pytest.approx(expected, abs=0.03)
+
+
+class TestEuclideanAnnulusEndToEnd:
+    """Equation-(2) family + generic annulus index on planted Euclidean
+    instances: the Figure 1 CPF actually drives a working data structure."""
+
+    def test_success_rate_over_instances(self):
+        from repro.families.euclidean_lsh import ShiftedGaussianProjection
+        from repro.index.annulus import AnnulusIndex
+
+        d, n = 12, 300
+        family = ShiftedGaussianProjection(d, w=1.0, k=3)
+        found = 0
+        trials = 6
+        for i in range(trials):
+            rng = np.random.default_rng(100 + i)
+            query = euclidean.random_points(1, d, rng)[0]
+            points = euclidean.translate_at_distance(
+                np.repeat(query[None, :], n, axis=0), 15.0, rng
+            )
+            points[0] = euclidean.translate_at_distance(query[None, :], 3.0, rng)[0]
+            index = AnnulusIndex(
+                points,
+                family,
+                interval=(2.0, 4.5),
+                proximity=lambda q, pts: np.linalg.norm(pts - q, axis=1),
+                n_tables=100,
+                rng=200 + i,
+            )
+            if index.query(query).found:
+                found += 1
+        assert found / trials >= 0.5

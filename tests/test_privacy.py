@@ -1,0 +1,135 @@
+"""Tests for PSI and privacy-preserving distance estimation (Section 6.4)."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.distance import PrivateDistanceEstimator, design_protocol
+from repro.privacy.psi import run_psi, salted_digests
+from repro.spaces import hamming
+
+D = 64
+R = 0.1   # relative Hamming radius (6.4 bits at d=64)
+C = 3.0
+
+
+class TestPsi:
+    def test_intersection_correct(self):
+        a = {b"x", b"y", b"z"}
+        b = {b"y", b"z", b"w"}
+        result = run_psi(a, b, rng=0)
+        assert result.intersection == frozenset({b"y", b"z"})
+        assert result.size_a == 3 and result.size_b == 3
+
+    def test_empty_intersection(self):
+        result = run_psi({b"a"}, {b"b"}, rng=1)
+        assert result.intersection == frozenset()
+
+    def test_leakage_grows_with_intersection(self):
+        small = run_psi({b"a", b"b"}, {b"a"}, rng=2)
+        large = run_psi({b"a", b"b", b"c"}, {b"a", b"b", b"c"}, rng=3)
+        assert large.leaked_bits > small.leaked_bits
+
+    def test_salt_changes_digests(self):
+        d1 = salted_digests([b"item"], b"salt-one")
+        d2 = salted_digests([b"item"], b"salt-two")
+        assert set(d1.keys()) != set(d2.keys())
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            run_psi({"not-bytes"}, {b"x"})
+
+
+class TestProtocolDesign:
+    def test_design_meets_targets_on_paper(self):
+        design = design_protocol(d=D, r=R, c=C, epsilon=0.1, delta=0.1)
+        assert design.n_hashes * design.p_far <= 0.1 + 1e-9
+        assert (1 - design.p_near) ** design.n_hashes <= 0.1 + 1e-9
+        assert 0 < design.rho < 1
+
+    def test_hash_count_is_modest(self):
+        """The exponential step tail keeps N small (paper: N = O(t log 1/eps))."""
+        design = design_protocol(d=D, r=R, c=C, epsilon=0.1, delta=0.1)
+        assert design.n_hashes < 500
+
+    def test_cpf_is_step_shaped(self):
+        design = design_protocol(d=D, r=R, c=C, epsilon=0.1, delta=0.1)
+        cpf = design.family.cpf
+        # flat within the documented Theta-factor on [0, r] ...
+        flat = cpf(np.linspace(0, R, 20))
+        assert flat.max() / flat.min() <= design.flat_ratio + 1e-9
+        # ... and far below the flat level beyond c r.
+        tail = cpf(np.linspace(C * R, 1.0, 20))
+        assert tail.max() <= design.p_far + 1e-12
+
+    def test_smaller_delta_needs_larger_power(self):
+        loose = design_protocol(d=D, r=R, c=C, epsilon=0.2, delta=0.2)
+        tight = design_protocol(d=D, r=R, c=C, epsilon=0.2, delta=0.001)
+        assert tight.j > loose.j
+        assert tight.n_hashes >= loose.n_hashes
+
+    def test_leakage_logarithmic_in_epsilon(self):
+        d1 = design_protocol(d=D, r=R, c=C, epsilon=0.1, delta=0.1)
+        d2 = design_protocol(d=D, r=R, c=C, epsilon=0.01, delta=0.1)
+        # ln(1/eps) doubles; leak items grow by about that factor (plus a
+        # small flat-ratio increase because the FP constraint also tightens).
+        assert d2.expected_leak_items <= 3.0 * d1.expected_leak_items
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            design_protocol(d=D, r=R, c=1.0, epsilon=0.1, delta=0.1)
+        with pytest.raises(ValueError):
+            design_protocol(d=D, r=0.4, c=3.0, epsilon=0.1, delta=0.1)  # c r >= 1
+        with pytest.raises(ValueError):
+            design_protocol(d=D, r=R, c=C, epsilon=0.0, delta=0.1)
+
+
+class TestEstimator:
+    @pytest.fixture(scope="class")
+    def estimator(self):
+        design = design_protocol(d=D, r=R, c=C, epsilon=0.15, delta=0.15)
+        return PrivateDistanceEstimator(design, rng=42)
+
+    def test_near_pairs_answer_yes(self, estimator):
+        rng = np.random.default_rng(0)
+        r_bits = int(R * D)
+        yes = 0
+        trials = 40
+        for _ in range(trials):
+            x, q = hamming.pairs_at_distance(1, D, r_bits // 2, rng)
+            yes += estimator.is_within(x, q)
+        assert yes / trials >= 1 - 0.15 - 0.15  # epsilon target + sampling slack
+
+    def test_far_pairs_answer_no(self, estimator):
+        rng = np.random.default_rng(1)
+        far_bits = int(3 * C * R * D)
+        yes = 0
+        trials = 40
+        for _ in range(trials):
+            x, q = hamming.pairs_at_distance(1, D, far_bits, rng)
+            yes += estimator.is_within(x, q)
+        assert yes / trials <= 0.15 + 0.15
+
+    def test_identical_points_leak_little(self, estimator):
+        """The step CPF's bounded flat level: even q = x produces only
+        ~N p0 collisions, never the full sketch (the privacy contrast
+        with plain LSH, where q = x collides on every hash)."""
+        x = hamming.random_points(1, D, rng=2)
+        _, psi = estimator.decide(
+            estimator.sketch_data(x), estimator.sketch_query(x)
+        )
+        n = estimator.design.n_hashes
+        expected = estimator.design.expected_leak_items
+        assert len(psi.intersection) <= 3 * expected + 5
+        assert len(psi.intersection) < n / 2
+
+    def test_sketch_sizes(self, estimator):
+        x = hamming.random_points(1, D, rng=3)
+        assert len(estimator.sketch_data(x)) == estimator.design.n_hashes
+
+    def test_dimension_enforced(self, estimator):
+        with pytest.raises(ValueError, match="dimension"):
+            estimator.sketch_data(hamming.random_points(1, D + 1, rng=4))
+
+    def test_single_point_enforced(self, estimator):
+        with pytest.raises(ValueError, match="one point"):
+            estimator.sketch_data(hamming.random_points(2, D, rng=5))

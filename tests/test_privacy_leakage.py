@@ -1,0 +1,77 @@
+"""Tests for the leakage-profile diagnostics (Section 6.4's privacy claim)."""
+
+import numpy as np
+import pytest
+
+from repro.core.combinators import ConcatenatedFamily, PoweredFamily
+from repro.families.bit_sampling import BitSampling, ConstantCollisionFamily
+from repro.privacy.distance import (
+    PrivateDistanceEstimator,
+    ProtocolDesign,
+    design_protocol,
+    leakage_profile,
+)
+
+D = 64
+R, C = 0.1, 3.0
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    design = design_protocol(d=D, r=R, c=C, epsilon=0.15, delta=0.15)
+    return PrivateDistanceEstimator(design, rng=7)
+
+
+class TestLeakageProfile:
+    def test_flat_over_near_region(self, estimator):
+        """Intersection size varies only within the documented Theta factor
+        across [0, r] — the triangulation observable is uninformative."""
+        r_bits = int(R * D)
+        profile = leakage_profile(
+            estimator, [0, r_bits // 2, r_bits], trials=25, rng=0
+        )
+        sizes = [s for _, s in profile]
+        assert max(sizes) <= estimator.design.flat_ratio * max(min(sizes), 1e-9) * 1.5
+
+    def test_never_reveals_full_sketch(self, estimator):
+        profile = leakage_profile(estimator, [0], trials=15, rng=1)
+        assert profile[0][1] < estimator.design.n_hashes / 2
+
+    def test_classical_lsh_leaks_everything_at_zero(self):
+        """Contrast case: the same protocol with a plain monotone LSH
+        (f(0) = p0 with J = 0 powering ... i.e. f(0) ~ 1) intersects on
+        ~every key for identical records — the [45] weakness."""
+        plain_family = ConcatenatedFamily(
+            [ConstantCollisionFamily(1.0), PoweredFamily(BitSampling(D), 2)]
+        )
+        design = ProtocolDesign(
+            family=plain_family,
+            n_hashes=40,
+            p_near=0.8,
+            p_far=0.3,
+            flat_level=1.0,
+            flat_ratio=1.0,
+            epsilon=0.1,
+            delta=0.1,
+            rho=0.5,
+            expected_leak_items=40.0,
+            r=R,
+            c=C,
+            d=D,
+            j=2,
+        )
+        classical = PrivateDistanceEstimator(design, rng=8)
+        profile = leakage_profile(classical, [0], trials=10, rng=2)
+        assert profile[0][1] == pytest.approx(40.0)  # every key matches
+
+    def test_profile_informative_only_across_the_step(self, estimator):
+        """The observable distinguishes near from far (that single bit is
+        the protocol's *intended* output), dropping past c r."""
+        far_bits = int(2 * C * R * D)
+        profile = leakage_profile(estimator, [0, far_bits], trials=25, rng=3)
+        near_size, far_size = profile[0][1], profile[1][1]
+        assert far_size < near_size / 3
+
+    def test_distance_validation(self, estimator):
+        with pytest.raises(ValueError):
+            leakage_profile(estimator, [D + 1], trials=2, rng=4)

@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These complement the example-based tests with randomized laws: CPF algebra
+(Lemma 1.4), the universal Theorem 1.3 inequality for arbitrary random
+label functions, hash component conventions, and transform round-trips.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleancube.noise import correlated_collision_probability
+from repro.booleancube.sets import correlated_pair_probability, volume
+from repro.booleancube.walsh import enumerate_cube
+from repro.bounds.sse import reverse_sse_lower_bound
+from repro.core.cpf import ConstantCPF, MixtureCPF, PowerCPF, ProductCPF
+from repro.core.family import as_components, rows_equal, rows_to_keys
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+small_dims = st.integers(min_value=2, max_value=6)
+
+
+class TestCpfAlgebraLaws:
+    @given(st.lists(probabilities, min_size=1, max_size=5), probabilities)
+    @settings(max_examples=60)
+    def test_product_is_commutative_and_bounded(self, ps, t):
+        f = ProductCPF([ConstantCPF(p) for p in ps])
+        g = ProductCPF([ConstantCPF(p) for p in reversed(ps)])
+        assert f(t) == pytest.approx(g(t))
+        assert 0.0 <= f(t) <= min(ps) + 1e-12
+
+    @given(st.lists(probabilities, min_size=2, max_size=5), probabilities)
+    @settings(max_examples=60)
+    def test_mixture_between_extremes(self, ps, t):
+        weights = np.full(len(ps), 1.0 / len(ps))
+        f = MixtureCPF([ConstantCPF(p) for p in ps], weights)
+        assert min(ps) - 1e-12 <= f(t) <= max(ps) + 1e-12
+
+    @given(probabilities, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60)
+    def test_power_of_product_consistency(self, p, k):
+        """(f^k) == product of k copies (Lemma 1.4(a) special case)."""
+        f_pow = PowerCPF(ConstantCPF(p), k)
+        f_prod = ProductCPF([ConstantCPF(p)] * k)
+        assert f_pow(0.5) == pytest.approx(f_prod(0.5))
+
+    @given(probabilities, probabilities, probabilities)
+    @settings(max_examples=60)
+    def test_mixture_distributes_over_product_bound(self, p, q, t):
+        """mixture(fg, fh) <= f * mixture(g, h)-style monotonicity, here in
+        the simplest constant form: mix of products <= product of maxes."""
+        lhs = MixtureCPF(
+            [ProductCPF([ConstantCPF(p), ConstantCPF(q)]), ConstantCPF(p)],
+            [0.5, 0.5],
+        )
+        assert lhs(t) <= p + 1e-12
+
+
+class TestUniversalLowerBound:
+    """Theorem 1.3 holds for *arbitrary* pairs of label functions — we
+    hammer it with random ones (the strongest property in the paper)."""
+
+    @given(
+        small_dims,
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.0, max_value=0.95),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_label_functions_obey_theorem13(self, d, n_labels, seed, alpha):
+        rng = np.random.default_rng(seed)
+        h = rng.integers(0, n_labels, size=2**d)
+        g = rng.integers(0, n_labels, size=2**d)
+        f0 = correlated_collision_probability(h, g, 0.0)
+        fa = correlated_collision_probability(h, g, alpha)
+        if f0 <= 0.0:
+            return  # vacuous
+        assert fa >= f0 ** ((1 + alpha) / (1 - alpha)) - 1e-9
+
+    @given(
+        small_dims,
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.0, max_value=0.9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_sets_obey_reverse_sse(self, d, seed, alpha):
+        rng = np.random.default_rng(seed)
+        a = (rng.random(2**d) < rng.uniform(0.1, 0.9)).astype(float)
+        b = (rng.random(2**d) < rng.uniform(0.1, 0.9)).astype(float)
+        if volume(a) == 0 or volume(b) == 0:
+            return
+        exact = correlated_pair_probability(a, b, alpha)
+        bound = reverse_sse_lower_bound(volume(a), volume(b), alpha)
+        assert exact >= bound - 1e-9
+
+
+class TestComponentConventions:
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40)
+    def test_keys_agree_with_rows_equal(self, n, c, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-5, 5, size=(n, c))
+        b = rng.integers(-5, 5, size=(n, c))
+        keys_a, keys_b = rows_to_keys(a), rows_to_keys(b)
+        equal = rows_equal(a, b)
+        for i in range(n):
+            assert (keys_a[i] == keys_b[i]) == bool(equal[i])
+
+    @given(st.integers(min_value=1, max_value=50), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30)
+    def test_as_components_idempotent(self, n, seed):
+        rng = np.random.default_rng(seed)
+        raw = rng.integers(0, 100, size=n)
+        once = as_components(raw)
+        twice = as_components(once)
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestNoiseOperatorLaws:
+    @given(small_dims, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_symmetric_pair_collision_is_one_at_alpha_one(self, d, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 3, size=2**d)
+        assert correlated_collision_probability(labels, labels, 1.0) == (
+            pytest.approx(1.0)
+        )
+
+    @given(
+        small_dims,
+        st.integers(min_value=0, max_value=1000),
+        st.floats(min_value=-1.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_collision_probability_in_unit_interval(self, d, seed, alpha):
+        rng = np.random.default_rng(seed)
+        h = rng.integers(0, 4, size=2**d)
+        g = rng.integers(0, 4, size=2**d)
+        p = correlated_collision_probability(h, g, alpha)
+        assert -1e-9 <= p <= 1.0 + 1e-9
+
+    @given(small_dims, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_alpha_zero_factorizes(self, d, seed):
+        """At independence the collision probability is sum of products of
+        label marginals."""
+        rng = np.random.default_rng(seed)
+        h = rng.integers(0, 3, size=2**d)
+        g = rng.integers(0, 3, size=2**d)
+        got = correlated_collision_probability(h, g, 0.0)
+        expected = sum(
+            np.mean(h == label) * np.mean(g == label) for label in range(3)
+        )
+        assert got == pytest.approx(expected)

@@ -1,0 +1,48 @@
+"""Unit tests for repro.spaces.euclidean."""
+
+import numpy as np
+import pytest
+
+from repro.spaces import euclidean
+
+
+class TestDistance:
+    def test_basic(self):
+        x = np.array([[0.0, 0.0], [1.0, 1.0]])
+        y = np.array([[3.0, 4.0], [1.0, 1.0]])
+        np.testing.assert_allclose(euclidean.euclidean_distance(x, y), [5.0, 0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            euclidean.euclidean_distance(np.zeros((1, 2)), np.zeros((1, 3)))
+
+
+class TestSampling:
+    def test_random_points_shape(self):
+        pts = euclidean.random_points(10, 4, rng=0)
+        assert pts.shape == (10, 4)
+
+    def test_random_points_scale(self):
+        pts = euclidean.random_points(50000, 1, rng=1, scale=3.0)
+        assert np.std(pts) == pytest.approx(3.0, rel=0.05)
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            euclidean.random_points(1, 1, scale=0.0)
+
+    @pytest.mark.parametrize("delta", [0.0, 0.5, 2.0, 10.0])
+    def test_pairs_at_distance_exact(self, delta):
+        x, y = euclidean.pairs_at_distance(100, 8, delta, rng=2)
+        np.testing.assert_allclose(
+            euclidean.euclidean_distance(x, y), delta, atol=1e-9
+        )
+
+    def test_negative_delta_raises(self):
+        with pytest.raises(ValueError):
+            euclidean.pairs_at_distance(1, 2, -1.0)
+
+    def test_translate_preserves_shape(self):
+        x = euclidean.random_points(5, 3, rng=3)
+        y = euclidean.translate_at_distance(x, 1.5, rng=4)
+        assert y.shape == x.shape
+        np.testing.assert_allclose(euclidean.euclidean_distance(x, y), 1.5, atol=1e-9)

@@ -1,0 +1,97 @@
+"""Unit + property tests for repro.spaces.hamming."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spaces import hamming
+
+
+class TestDistances:
+    def test_hamming_distance_basic(self):
+        x = np.array([[0, 0, 1, 1]])
+        y = np.array([[0, 1, 1, 0]])
+        assert hamming.hamming_distance(x, y)[0] == 2
+
+    def test_relative_distance(self):
+        x = np.array([[0, 0, 1, 1]])
+        y = np.array([[1, 1, 0, 0]])
+        assert hamming.relative_distance(x, y)[0] == 1.0
+
+    def test_similarity_identity(self):
+        x = np.array([[0, 1, 0, 1]])
+        assert hamming.similarity(x, x)[0] == 1.0
+
+    def test_similarity_antipodal(self):
+        x = np.array([[0, 1]])
+        assert hamming.similarity(x, 1 - x)[0] == -1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming.hamming_distance(np.zeros((1, 3)), np.zeros((1, 4)))
+
+
+class TestConversions:
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    def test_similarity_relative_roundtrip(self, alpha):
+        t = hamming.similarity_to_relative_distance(alpha)
+        back = hamming.relative_distance_to_similarity(t)
+        assert back == pytest.approx(alpha, abs=1e-12)
+
+    def test_known_values(self):
+        assert hamming.similarity_to_relative_distance(1.0) == 0.0
+        assert hamming.similarity_to_relative_distance(-1.0) == 1.0
+        assert hamming.relative_distance_to_similarity(0.5) == 0.0
+
+
+class TestSampling:
+    def test_random_points_shape_and_binary(self):
+        pts = hamming.random_points(50, 16, rng=0)
+        assert pts.shape == (50, 16)
+        assert set(np.unique(pts)) <= {0, 1}
+
+    def test_alpha_correlated_mean_similarity(self):
+        x, y = hamming.alpha_correlated_pairs(4000, 64, alpha=0.5, rng=1)
+        mean_sim = float(np.mean(hamming.similarity(x, y)))
+        assert mean_sim == pytest.approx(0.5, abs=0.02)
+
+    def test_alpha_one_gives_equal_points(self):
+        x, y = hamming.alpha_correlated_pairs(10, 8, alpha=1.0, rng=2)
+        np.testing.assert_array_equal(x, y)
+
+    def test_alpha_minus_one_gives_antipodal(self):
+        x, y = hamming.alpha_correlated_pairs(10, 8, alpha=-1.0, rng=3)
+        np.testing.assert_array_equal(y, 1 - x)
+
+    def test_alpha_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            hamming.alpha_correlated_pairs(1, 4, alpha=1.5)
+
+    @pytest.mark.parametrize("r", [0, 3, 8])
+    def test_pairs_at_distance_exact(self, r):
+        x, y = hamming.pairs_at_distance(25, 8, r, rng=4)
+        np.testing.assert_array_equal(hamming.hamming_distance(x, y), r)
+
+    def test_pairs_at_distance_out_of_range(self):
+        with pytest.raises(ValueError):
+            hamming.pairs_at_distance(1, 4, 5)
+
+    def test_flip_bits_exact_count(self):
+        x = hamming.random_points(10, 12, rng=5)
+        y = hamming.flip_bits(x, 4, rng=6)
+        np.testing.assert_array_equal(hamming.hamming_distance(x, y), 4)
+
+
+class TestSignEncoding:
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30)
+    def test_roundtrip(self, d, seed):
+        x = hamming.random_points(5, d, rng=seed)
+        np.testing.assert_array_equal(hamming.from_signs(hamming.to_signs(x)), x)
+
+    def test_sign_inner_product_equals_similarity(self):
+        x, y = hamming.pairs_at_distance(20, 10, 3, rng=7)
+        sx, sy = hamming.to_signs(x), hamming.to_signs(y)
+        ip = np.einsum("ij,ij->i", sx, sy) / 10
+        np.testing.assert_allclose(ip, hamming.similarity(x, y))

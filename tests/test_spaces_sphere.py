@@ -1,0 +1,71 @@
+"""Unit + property tests for repro.spaces.sphere."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spaces import sphere
+
+
+class TestConversions:
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    def test_angle_roundtrip(self, alpha):
+        theta = sphere.inner_product_to_angle(alpha)
+        assert sphere.angle_to_inner_product(theta) == pytest.approx(alpha, abs=1e-9)
+
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    def test_euclidean_roundtrip(self, alpha):
+        tau = sphere.inner_product_to_euclidean(alpha)
+        assert sphere.euclidean_to_inner_product(tau) == pytest.approx(alpha, abs=1e-9)
+
+    def test_footnote_one_examples(self):
+        # alpha = 1 -> distance 0; alpha = -1 -> distance 2; alpha = 0 -> sqrt(2).
+        assert sphere.inner_product_to_euclidean(1.0) == 0.0
+        assert sphere.inner_product_to_euclidean(-1.0) == pytest.approx(2.0)
+        assert sphere.inner_product_to_euclidean(0.0) == pytest.approx(np.sqrt(2))
+
+
+class TestSampling:
+    def test_random_points_unit_norm(self):
+        pts = sphere.random_points(100, 8, rng=0)
+        np.testing.assert_allclose(np.linalg.norm(pts, axis=1), 1.0, atol=1e-12)
+
+    def test_random_points_mean_near_zero(self):
+        pts = sphere.random_points(20000, 3, rng=1)
+        assert np.linalg.norm(pts.mean(axis=0)) < 0.02
+
+    @pytest.mark.parametrize("alpha", [-0.9, -0.5, 0.0, 0.3, 0.99])
+    def test_pairs_at_inner_product_exact(self, alpha):
+        x, y = sphere.pairs_at_inner_product(200, 16, alpha, rng=2)
+        np.testing.assert_allclose(sphere.inner_product(x, y), alpha, atol=1e-9)
+        np.testing.assert_allclose(np.linalg.norm(y, axis=1), 1.0, atol=1e-9)
+
+    def test_pairs_d1_raises(self):
+        with pytest.raises(ValueError):
+            sphere.pairs_at_inner_product(1, 1, 0.0)
+
+    def test_orthogonal_to_is_orthogonal_unit(self):
+        x = sphere.random_points(50, 6, rng=3)
+        u = sphere.orthogonal_to(x, rng=4)
+        np.testing.assert_allclose(sphere.inner_product(x, u), 0.0, atol=1e-9)
+        np.testing.assert_allclose(np.linalg.norm(u, axis=1), 1.0, atol=1e-9)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            sphere.normalize(np.zeros((1, 3)))
+
+
+class TestRandomRotation:
+    @settings(max_examples=10)
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=1000))
+    def test_rotation_is_orthogonal(self, d, seed):
+        q = sphere.random_rotation(d, rng=seed)
+        np.testing.assert_allclose(q @ q.T, np.eye(d), atol=1e-9)
+
+    def test_rotation_preserves_inner_products(self):
+        q = sphere.random_rotation(5, rng=11)
+        x, y = sphere.pairs_at_inner_product(10, 5, 0.4, rng=12)
+        np.testing.assert_allclose(
+            sphere.inner_product(x @ q.T, y @ q.T), 0.4, atol=1e-9
+        )

@@ -1,0 +1,111 @@
+"""Tests for the l_s random-feature transfer (Section 2 remark)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimate import estimate_collision_probability
+from repro.families.simhash import SimHash
+from repro.spaces import euclidean
+from repro.spaces.stable_features import StableRandomFeatures, lift_sphere_family
+
+
+class TestFeatureMap:
+    def test_output_shape(self):
+        feats = StableRandomFeatures(d=6, m=128, rng=0)
+        x = euclidean.random_points(10, 6, rng=1)
+        assert feats(x).shape == (10, 128)
+
+    def test_norms_concentrate_around_one(self):
+        feats = StableRandomFeatures(d=6, m=2048, rng=2)
+        x = euclidean.random_points(50, 6, rng=3)
+        norms = np.linalg.norm(feats(x), axis=1)
+        assert np.all(np.abs(norms - 1.0) < 0.1)
+
+    @pytest.mark.parametrize("s,expected", [(2.0, "gauss"), (1.0, "laplace")])
+    def test_inner_products_match_kernel(self, s, expected):
+        d, m, scale = 4, 8192, 2.0
+        feats = StableRandomFeatures(d=d, m=m, s=s, scale=scale, rng=4)
+        for delta in [0.5, 1.5, 3.0]:
+            x, y = euclidean.pairs_at_distance(40, d, delta, rng=5)
+            # l1 distance differs from l2; build pairs with exact l1 distance
+            # by moving along a single coordinate.
+            if s == 1.0:
+                y = x.copy()
+                y[:, 0] += delta
+            ips = np.einsum("ij,ij->i", feats(x), feats(y))
+            assert np.mean(ips) == pytest.approx(
+                float(feats.kernel(delta)), abs=0.03
+            )
+
+    def test_kernel_values(self):
+        feats2 = StableRandomFeatures(d=3, m=8, s=2.0, scale=1.0, rng=6)
+        assert feats2.kernel(0.0) == 1.0
+        assert feats2.kernel(1.0) == pytest.approx(np.exp(-0.5))
+        feats1 = StableRandomFeatures(d=3, m=8, s=1.0, scale=1.0, rng=7)
+        assert feats1.kernel(1.0) == pytest.approx(np.exp(-1.0))
+
+    def test_kernel_monotone_decreasing(self):
+        feats = StableRandomFeatures(d=3, m=8, s=1.5, rng=8)
+        deltas = np.linspace(0, 5, 20)
+        values = feats.kernel(deltas)
+        assert np.all(np.diff(values) < 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StableRandomFeatures(d=0, m=8)
+        with pytest.raises(ValueError):
+            StableRandomFeatures(d=3, m=8, s=2.5)
+        with pytest.raises(ValueError):
+            StableRandomFeatures(d=3, m=8, scale=0.0)
+        feats = StableRandomFeatures(d=3, m=8, rng=9)
+        with pytest.raises(ValueError):
+            feats(np.ones((2, 4)))
+        with pytest.raises(ValueError):
+            feats.kernel(-1.0)
+
+
+class TestLiftedFamilies:
+    def test_lifted_simhash_cpf_shape(self):
+        d, m = 5, 512
+        feats = StableRandomFeatures(d=d, m=m, s=2.0, scale=1.5, rng=10)
+        lifted = lift_sphere_family(SimHash(m), feats)
+        cpf = lifted.cpf
+        assert cpf is not None and cpf.arg_kind == "distance"
+        # f(kappa(0)) = sim(1) = 1, decreasing in distance.
+        assert cpf(0.0) == pytest.approx(1.0, abs=1e-9)
+        values = cpf(np.linspace(0, 6, 15))
+        assert np.all(np.diff(values) < 1e-12)
+
+    def test_lifted_simhash_measured_matches_predicted(self):
+        d, m = 4, 1024
+        feats = StableRandomFeatures(d=d, m=m, s=2.0, scale=2.0, rng=11)
+        lifted = lift_sphere_family(SimHash(m), feats)
+        for delta in [1.0, 3.0]:
+            est = estimate_collision_probability(
+                lifted,
+                lambda n, rng, dd=delta: euclidean.pairs_at_distance(n, d, dd, rng),
+                n_functions=150,
+                pairs_per_function=80,
+                rng=12,
+            )
+            expected = float(lifted.cpf(delta))
+            assert est.p_hat == pytest.approx(expected, abs=0.03), f"delta={delta}"
+
+    def test_exponential_tail_beats_bucket_tail(self):
+        """The lifted Gaussian-kernel similarity decays exponentially in
+        distance^2, so the CPF's excess over its floor sim(0) = 1/2 does
+        too — qualitatively faster than the 1/delta bucket tails."""
+        d, m = 4, 256
+        feats = StableRandomFeatures(d=d, m=m, s=2.0, scale=1.0, rng=13)
+        lifted = lift_sphere_family(SimHash(m), feats)
+        floor = 0.5  # sim(0) for SimHash
+        e2 = float(lifted.cpf(2.0)) - floor
+        e4 = float(lifted.cpf(4.0)) - floor
+        assert e4 < e2 / 20  # a 1/delta tail would only halve the excess
+
+    def test_requires_similarity_cpf(self):
+        from repro.families.bit_sampling import BitSampling
+
+        feats = StableRandomFeatures(d=4, m=16, rng=14)
+        with pytest.raises(ValueError, match="similarity"):
+            lift_sphere_family(BitSampling(16), feats)

@@ -1,0 +1,44 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+def test_ensure_rng_from_none_returns_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_ensure_rng_from_int_is_deterministic():
+    a = ensure_rng(123).integers(0, 1000, size=5)
+    b = ensure_rng(123).integers(0, 1000, size=5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_ensure_rng_passes_generator_through():
+    rng = np.random.default_rng(0)
+    assert ensure_rng(rng) is rng
+
+
+def test_spawn_rngs_count_and_independence():
+    rng = ensure_rng(7)
+    children = spawn_rngs(rng, 3)
+    assert len(children) == 3
+    draws = [c.integers(0, 2**31) for c in children]
+    assert len(set(draws)) == 3
+
+
+def test_spawn_rngs_deterministic_given_parent_seed():
+    a = [c.integers(0, 2**31) for c in spawn_rngs(ensure_rng(9), 4)]
+    b = [c.integers(0, 2**31) for c in spawn_rngs(ensure_rng(9), 4)]
+    assert a == b
+
+
+def test_spawn_rngs_zero_children():
+    assert spawn_rngs(ensure_rng(1), 0) == []
+
+
+def test_spawn_rngs_negative_raises():
+    with pytest.raises(ValueError):
+        spawn_rngs(ensure_rng(1), -1)

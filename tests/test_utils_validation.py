@@ -1,0 +1,74 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_closed_interval,
+    check_in_open_interval,
+    check_positive,
+    check_probability,
+    check_unit_vectors,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(bad, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_probability(ok, "p") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, float("nan")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="p"):
+            check_probability(bad, "p")
+
+
+class TestIntervals:
+    def test_closed_accepts_endpoints(self):
+        assert check_in_closed_interval(-1.0, -1.0, 1.0, "a") == -1.0
+        assert check_in_closed_interval(1.0, -1.0, 1.0, "a") == 1.0
+
+    def test_open_rejects_endpoints(self):
+        with pytest.raises(ValueError):
+            check_in_open_interval(-1.0, -1.0, 1.0, "a")
+        with pytest.raises(ValueError):
+            check_in_open_interval(1.0, -1.0, 1.0, "a")
+
+    def test_open_accepts_interior(self):
+        assert check_in_open_interval(0.0, -1.0, 1.0, "a") == 0.0
+
+
+class TestCheckFinite:
+    def test_accepts_finite_array(self):
+        arr = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(check_finite(arr, "arr"), arr)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="arr"):
+            check_finite(np.array([1.0, np.nan]), "arr")
+
+
+class TestCheckUnitVectors:
+    def test_accepts_unit_rows(self):
+        x = np.array([[1.0, 0.0], [0.0, -1.0]])
+        out = check_unit_vectors(x)
+        assert out.shape == (2, 2)
+
+    def test_accepts_1d(self):
+        out = check_unit_vectors(np.array([0.6, 0.8]))
+        assert out.shape == (1, 2)
+
+    def test_rejects_non_unit(self):
+        with pytest.raises(ValueError, match="unit"):
+            check_unit_vectors(np.array([[2.0, 0.0]]))
