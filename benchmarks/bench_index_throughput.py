@@ -1,0 +1,119 @@
+"""Index storage-backend throughput: dict reference vs packed CSR.
+
+The Theorem 6.1 index is backend-pluggable; this benchmark measures what
+the packed backend buys on the hot paths at production-ish scale
+(n = 50k points, L = 32 tables by default): build time (per-row ``bytes``
+keys + dict inserts vs vectorized fingerprint mixing + ``argsort``/
+``np.unique``) and batched query throughput (per-query Python bucket walks
+vs batched ``searchsorted`` + one flat gather).  Both backends receive
+identical hash pairs, so the candidate results are checked identical before
+any timing is trusted.
+
+Set ``BENCH_SMOKE=1`` to shrink the instance for CI smoke runs (the
+speedup assertion is only enforced at full size).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.combinators import PoweredFamily
+from repro.families.bit_sampling import BitSampling
+from repro.index.lsh_index import DSHIndex
+from repro.spaces import hamming
+
+from _harness import fmt_row, report
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+N_POINTS = 2_000 if SMOKE else 50_000
+N_QUERIES = 64 if SMOKE else 512
+N_TABLES = 8 if SMOKE else 32
+N_CLUSTERS = 40 if SMOKE else 100
+D = 64
+K = 16         # components per table -> buckets ~= clusters
+NOISE = 0.005  # per-bit flip probability around each cluster prototype
+SEED = 2018
+MIN_SPEEDUP = 5.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def _clustered_hamming(prototypes, n, rng):
+    """Noisy copies of shared cluster prototypes — the workload LSH indexes
+    exist for: a query rendezvouses with its cluster-mates in most tables,
+    so buckets are Zipfian and retrievals duplicate-heavy."""
+    rows = prototypes[rng.integers(0, prototypes.shape[0], size=n)]
+    return rows ^ (rng.random(size=rows.shape) < NOISE).astype(np.int8)
+
+
+def _run():
+    rng = np.random.default_rng(SEED)
+    prototypes = hamming.random_points(N_CLUSTERS, D, rng=rng)
+    points = _clustered_hamming(prototypes, N_POINTS, rng)
+    queries = _clustered_hamming(prototypes, N_QUERIES, rng)
+
+    timings = {}
+    results = {}
+    for backend in ["dict", "packed"]:
+        index = DSHIndex(
+            PoweredFamily(BitSampling(D), K),
+            n_tables=N_TABLES,
+            rng=SEED + 2,
+            backend=backend,
+        )
+        _, build_s = _timed(lambda: index.build(points))
+        # Warm-up (hash closures, allocator) then the timed batch.
+        index.batch_query(queries[:8])
+        batch, query_s = _timed(lambda: index.batch_query(queries))
+        _, truncated_s = _timed(
+            lambda: index.batch_query(queries, max_retrieved=8 * N_TABLES)
+        )
+        timings[backend] = (build_s, query_s, truncated_s)
+        results[backend] = batch
+
+    # Differential check before trusting any timing: identical candidates,
+    # order, and stats on every query.
+    for (d_cands, d_stats), (p_cands, p_stats) in zip(
+        results["dict"], results["packed"]
+    ):
+        assert d_cands == p_cands
+        assert d_stats == p_stats
+    return timings
+
+
+def bench_index_backend_throughput(benchmark):
+    """Time the dict-vs-packed sweep; require the packed backend to be
+    >= 5x faster on batched queries at full size."""
+    timings = benchmark.pedantic(_run, rounds=1, iterations=1)
+    d_build, d_query, d_trunc = timings["dict"]
+    p_build, p_query, p_trunc = timings["packed"]
+    query_speedup = d_query / p_query
+    lines = [
+        "Index backend throughput: dict[bytes, list[int]] vs packed CSR "
+        f"(n={N_POINTS} clustered points, L={N_TABLES}, c={K} components, "
+        f"{N_QUERIES} batched queries{', SMOKE' if SMOKE else ''})",
+        fmt_row("backend", "build s", "batch query s", "queries/s",
+                "trunc batch s", width=15),
+        fmt_row("dict", d_build, d_query, N_QUERIES / d_query, d_trunc,
+                width=15),
+        fmt_row("packed", p_build, p_query, N_QUERIES / p_query, p_trunc,
+                width=15),
+        "",
+        f"build speedup: x{d_build / p_build:.1f}",
+        f"batch query speedup: x{query_speedup:.1f}",
+        f"truncated batch speedup: x{d_trunc / p_trunc:.1f}",
+    ]
+    report("index_throughput", lines)
+    # Timing assertions only at full size — smoke instances are small
+    # enough that scheduler noise can flip either comparison.
+    if not SMOKE:
+        assert p_build < d_build, "packed build slower than dict build"
+        assert query_speedup >= MIN_SPEEDUP, (
+            f"packed batch query only x{query_speedup:.2f} faster "
+            f"(required x{MIN_SPEEDUP})"
+        )

@@ -35,7 +35,9 @@ def main():
         f"rho = {hyperplane_rho(ALPHA):.3f} (Section 6.1)"
     )
 
-    index = HyperplaneIndex(pool, alpha=ALPHA, t=1.6, n_tables=120, rng=SEED + 1)
+    index = HyperplaneIndex(
+        pool, alpha=ALPHA, t=1.6, n_tables=120, rng=SEED + 1, backend="packed"
+    )
 
     rounds = 10
     successes = 0

@@ -1,11 +1,27 @@
-"""Setup shim.
+"""Package metadata for the ``src/``-layout distribution.
 
-The canonical metadata lives in ``pyproject.toml``; this file exists so that
-legacy editable installs (``python setup.py develop``) work in offline
-environments that lack the ``wheel`` package required by PEP 660 editable
-wheels.
+Kept as ``setup.py`` (rather than ``pyproject.toml``) so legacy editable
+installs (``pip install -e .`` / ``python setup.py develop``) work in
+offline environments that lack the ``wheel`` package required by PEP 660
+editable wheels.  ``package_dir`` points setuptools at ``src/`` so an
+editable install makes ``import repro`` work without ``PYTHONPATH``
+gymnastics; CI asserts exactly that.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="dsh-repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of Distance-Sensitive Hashing "
+        "(Aumüller, Christiani, Pagh, Silvestri; PODS 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+        "scipy>=1.10",
+    ],
+)

@@ -32,6 +32,7 @@ __all__ = [
     "as_components",
     "rows_equal",
     "rows_to_keys",
+    "rows_to_fingerprints",
 ]
 
 
@@ -63,6 +64,63 @@ def rows_to_keys(a: np.ndarray) -> list[bytes]:
     """Serialize each component row to a hashable ``bytes`` key (for dicts)."""
     a = np.ascontiguousarray(as_components(a))
     return [row.tobytes() for row in a]
+
+
+# splitmix64 constants (Steele, Lea & Flood 2014) — the increment and the two
+# multiply-xorshift rounds of the finalizer.  All arithmetic is modulo 2^64.
+_SM64_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM64_MULT_1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM64_MULT_2 = np.uint64(0x94D049BB133111EB)
+_FINGERPRINT_SEED = np.uint64(0x51_7CC1B727220A95)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer: a bijection on uint64 that mixes
+    every input bit into every output bit (~0.5 avalanche per bit)."""
+    x = (x + _SM64_GAMMA).astype(np.uint64, copy=False)
+    x = (x ^ (x >> np.uint64(30))) * _SM64_MULT_1
+    x = (x ^ (x >> np.uint64(27))) * _SM64_MULT_2
+    return x ^ (x >> np.uint64(31))
+
+
+def rows_to_fingerprints(a: np.ndarray) -> np.ndarray:
+    """Mix each ``(n, c)`` component row into one ``uint64`` fingerprint.
+
+    The hot-path alternative to :func:`rows_to_keys`: instead of one Python
+    ``bytes`` object per row, the whole array is folded column-by-column
+    through a splitmix64 chain — ``state := splitmix64(state XOR column)``
+    starting from a fixed seed — entirely in vectorized uint64 arithmetic.
+    Signed ``int64`` components are reinterpreted bit-for-bit as ``uint64``,
+    so negative values and values differing only in the sign/high bits are
+    distinct inputs to the mixer (no information is dropped before mixing).
+
+    Collision bound
+    ---------------
+    ``rows_to_keys`` is injective; a 64-bit fingerprint cannot be.  Because
+    each chain step is a bijection of the running state composed with an XOR
+    of the fully-mixed next component, two *distinct* rows of equal length
+    collide only if an exact 64-bit cancellation occurs along the chain; for
+    inputs not specifically crafted by inverting the public mixer this
+    behaves like a uniform random 64-bit hash, i.e.
+
+        P[fingerprint(u) == fingerprint(v)]  ~=  2**-64   for rows u != v,
+
+    so a table of ``n`` points sees an expected ``<= n*(n-1)/2 * 2**-64``
+    spuriously merged pairs (~6.8e-11 even at ``n = 50_000_000``).  The
+    guarantee is statistical, not adversarial: splitmix64 is invertible, so
+    a malicious input designer could construct collisions.  The differential
+    parity suite (``tests/test_index_backends_parity.py``) cross-checks the
+    fingerprint-bucketed backend against the exact-bytes dict backend, and
+    ``tests/test_core_family.py`` probes the structured near-miss patterns
+    (high-bit flips, negative components, column swaps) that a weak mixer
+    (e.g. a sum of per-column products) would merge.
+    """
+    a = as_components(a)
+    u = np.ascontiguousarray(a).view(np.uint64)
+    state = np.full(u.shape[0], _FINGERPRINT_SEED, dtype=np.uint64)
+    for j in range(u.shape[1]):
+        state = _splitmix64(state ^ u[:, j])
+    return state
 
 
 @dataclass

@@ -2,6 +2,9 @@
 
 * :mod:`repro.index.lsh_index` — the generic asymmetric hashing index
   (insert with ``h``, probe with ``g``) with full instrumentation.
+* :mod:`repro.index.backends` — pluggable storage layouts behind the index:
+  the ``"dict"`` reference backend and the vectorized ``"packed"`` CSR
+  backend over uint64 fingerprints.
 * :mod:`repro.index.annulus` — approximate annulus search (Theorem 6.1,
   Definition 6.3, Theorem 6.4).
 * :mod:`repro.index.hyperplane` — hyperplane / near-orthogonal-vector
@@ -11,6 +14,13 @@
 """
 
 from repro.index.annulus import AnnulusIndex, AnnulusQueryResult, sphere_annulus_index
+from repro.index.backends import (
+    BACKENDS,
+    DictBackend,
+    IndexBackend,
+    PackedBackend,
+    make_backend,
+)
 from repro.index.hyperplane import HyperplaneIndex
 from repro.index.lsh_index import DSHIndex, QueryStats
 from repro.index.range_reporting import RangeReportingIndex, RangeReport
@@ -18,6 +28,11 @@ from repro.index.range_reporting import RangeReportingIndex, RangeReport
 __all__ = [
     "DSHIndex",
     "QueryStats",
+    "IndexBackend",
+    "DictBackend",
+    "PackedBackend",
+    "BACKENDS",
+    "make_backend",
     "AnnulusIndex",
     "AnnulusQueryResult",
     "sphere_annulus_index",

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.family import DSHFamily
 from repro.families.annulus_sphere import AnnulusFamily
+from repro.index.backends import IndexBackend
 from repro.index.lsh_index import DSHIndex
 from repro.utils.rng import ensure_rng
 
@@ -78,6 +79,9 @@ class AnnulusIndex:
         theorem's Markov argument uses 8).
     rng:
         Seed or generator.
+    backend:
+        Storage backend forwarded to :class:`DSHIndex` (``"packed"`` by
+        default; both backends return identical candidate streams).
     """
 
     def __init__(
@@ -89,6 +93,7 @@ class AnnulusIndex:
         n_tables: int,
         budget_factor: float = 8.0,
         rng: int | np.random.Generator | None = None,
+        backend: str | IndexBackend = "packed",
     ):
         lo, hi = interval
         if not lo < hi:
@@ -99,7 +104,9 @@ class AnnulusIndex:
         if budget_factor <= 0:
             raise ValueError(f"budget_factor must be positive, got {budget_factor}")
         self.budget = int(np.ceil(budget_factor * n_tables))
-        self._index = DSHIndex(family, n_tables, ensure_rng(rng)).build(self.points)
+        self._index = DSHIndex(
+            family, n_tables, ensure_rng(rng), backend=backend
+        ).build(self.points)
 
     def query(self, query_point: np.ndarray) -> AnnulusQueryResult:
         """Report one point with proximity in the interval, if found.
@@ -172,6 +179,7 @@ def sphere_annulus_index(
     n_tables: int,
     rng: int | np.random.Generator | None = None,
     budget_factor: float = 8.0,
+    backend: str | IndexBackend = "packed",
 ) -> AnnulusIndex:
     """Theorem 6.4 instantiation: inner-product annuli on the unit sphere.
 
@@ -188,7 +196,7 @@ def sphere_annulus_index(
         Reporting interval of inner products ``(beta_-, beta_+)``.
     t:
         Filter threshold ``t_+`` (sharpness / cost knob).
-    n_tables, rng, budget_factor:
+    n_tables, rng, budget_factor, backend:
         As in :class:`AnnulusIndex`.
     """
     beta_minus, beta_plus = alpha_interval
@@ -208,4 +216,5 @@ def sphere_annulus_index(
         n_tables=n_tables,
         budget_factor=budget_factor,
         rng=rng,
+        backend=backend,
     )

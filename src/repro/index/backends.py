@@ -1,0 +1,377 @@
+"""Pluggable storage backends for :class:`~repro.index.lsh_index.DSHIndex`.
+
+The Theorem 6.1 index needs one operation from its storage layer: map the
+``(n, c)`` int64 hash components of a point to a bucket and retrieve buckets
+in table order at query time.  Two interchangeable layouts implement it:
+
+* :class:`DictBackend` — the reference layout: one ``dict[bytes, list[int]]``
+  per table keyed by the exact serialized component row
+  (:func:`~repro.core.family.rows_to_keys`).  Injective keys, simple code,
+  Python-loop speed.  Single and batched queries share one probe routine so
+  the two paths cannot drift apart.
+* :class:`PackedBackend` — the throughput layout: component rows are mixed
+  to uint64 fingerprints (:func:`~repro.core.family.rows_to_fingerprints`)
+  and each table is stored CSR-style as a sorted unique-fingerprint array,
+  an offsets array, and a point-index array grouped by fingerprint
+  (``np.argsort``/``np.unique`` at build, ``np.searchsorted`` at probe).
+  :meth:`~PackedBackend.batch_query` is vectorized end-to-end across queries
+  *and* tables; per-query dedup preserves first-seen candidate order, so the
+  results are element-for-element identical to :class:`DictBackend` (up to
+  64-bit fingerprint collisions, see the collision bound documented on
+  ``rows_to_fingerprints``).
+
+Both backends produce identical candidate lists, candidate order, and
+:class:`QueryStats`; ``tests/test_index_backends_parity.py`` enforces this
+differentially across families and seeds.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.family import rows_to_fingerprints, rows_to_keys
+
+__all__ = [
+    "QueryStats",
+    "IndexBackend",
+    "DictBackend",
+    "PackedBackend",
+    "make_backend",
+    "BACKENDS",
+]
+
+
+@dataclass
+class QueryStats:
+    """Instrumentation for one query.
+
+    Attributes
+    ----------
+    retrieved:
+        Total number of (point, table) hits — counts duplicates, i.e. the
+        work the query performs.
+    unique_candidates:
+        Number of distinct data points retrieved.
+    tables_probed:
+        Tables inspected before termination (== L unless stopped early).
+    truncated:
+        Whether an early-termination candidate budget stopped the scan.
+    """
+
+    retrieved: int = 0
+    unique_candidates: int = 0
+    tables_probed: int = 0
+    truncated: bool = False
+
+    @property
+    def duplicates(self) -> int:
+        """Redundant retrievals — the waste Theorem 6.5 is about."""
+        return self.retrieved - self.unique_candidates
+
+
+class IndexBackend(ABC):
+    """Storage layout behind a :class:`DSHIndex`.
+
+    Component arrays flow in from the index, which owns the hash pairs: the
+    backend never hashes points, it only buckets already-computed ``(n, c)``
+    int64 components.  ``comps`` arguments are lists with one entry per
+    table, each of shape ``(n_queries, c)``.
+    """
+
+    name: str = "abstract"
+
+    # Set by the owning DSHIndex: a storage object holds exactly one
+    # index's tables, so sharing an instance between indexes would let the
+    # second ``build`` silently clobber the first.
+    _bound: bool = False
+
+    @abstractmethod
+    def build(self, tables: list[np.ndarray]) -> None:
+        """Ingest the data-side components, one ``(n, c)`` array per table."""
+
+    @abstractmethod
+    def bucket(self, table: int, components: np.ndarray) -> np.ndarray:
+        """Point indices in ``table`` under one query's component row
+        (shape ``(1, c)``), in insertion (= increasing point index) order."""
+
+    @abstractmethod
+    def bucket_sizes(self) -> list[int]:
+        """All bucket sizes across tables (for load diagnostics)."""
+
+    @abstractmethod
+    def batch_query(
+        self, comps: list[np.ndarray], max_retrieved: int | None = None
+    ) -> list[tuple[list[int], QueryStats]]:
+        """Probe all tables for every query row; one ``(candidates, stats)``
+        pair per query, candidates distinct and in first-seen order."""
+
+    def _scan(
+        self, buckets, max_retrieved: int | None
+    ) -> tuple[list[int], QueryStats]:
+        """THE reference probe routine (first-seen dedup + the Theorem 6.1
+        early-termination budget) over a lazily-consumed iterable of
+        buckets, one per table in table order.  Every non-vectorized query
+        path funnels through here so the semantics cannot drift; the
+        packed ``batch_query`` override is held to it differentially by
+        the backend-parity suite."""
+        stats = QueryStats()
+        seen: set[int] = set()
+        ordered: list[int] = []
+        for bucket in buckets:
+            stats.retrieved += len(bucket)
+            for idx in bucket:
+                idx = int(idx)
+                if idx not in seen:
+                    seen.add(idx)
+                    ordered.append(idx)
+            stats.tables_probed += 1
+            if max_retrieved is not None and stats.retrieved >= max_retrieved:
+                stats.truncated = True
+                break
+        stats.unique_candidates = len(ordered)
+        return ordered, stats
+
+    def query(
+        self, comps, max_retrieved: int | None = None
+    ) -> tuple[list[int], QueryStats]:
+        """Single-query probe.  ``comps`` may be any iterable of per-table
+        ``(1, c)`` component rows and is consumed lazily, so a truncating
+        budget also stops upstream hash evaluation (the caller can pass a
+        generator that hashes table ``i`` on demand)."""
+        return self._scan(
+            (self.bucket(t, c) for t, c in enumerate(comps)), max_retrieved
+        )
+
+    def query_hits(self, comps: list[np.ndarray]) -> np.ndarray:
+        """All (point, table) hits for one query as a flat int64 array in
+        probe order, duplicates preserved."""
+        parts = [
+            np.asarray(self.bucket(t, c), dtype=np.int64)
+            for t, c in enumerate(comps)
+        ]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+
+class DictBackend(IndexBackend):
+    """Reference layout: ``dict[bytes, list[int]]`` per table."""
+
+    name = "dict"
+
+    def __init__(self) -> None:
+        self._tables: list[dict[bytes, list[int]]] = []
+
+    def build(self, tables: list[np.ndarray]) -> None:
+        self._tables = []
+        for comps in tables:
+            table: dict[bytes, list[int]] = {}
+            for idx, key in enumerate(rows_to_keys(comps)):
+                table.setdefault(key, []).append(idx)
+            self._tables.append(table)
+
+    def bucket(self, table: int, components: np.ndarray) -> np.ndarray:
+        key = rows_to_keys(components)[0]
+        return np.asarray(self._tables[table].get(key, []), dtype=np.int64)
+
+    def bucket_sizes(self) -> list[int]:
+        return [len(bucket) for table in self._tables for bucket in table.values()]
+
+    def batch_query(
+        self, comps: list[np.ndarray], max_retrieved: int | None = None
+    ) -> list[tuple[list[int], QueryStats]]:
+        per_table_keys = [rows_to_keys(c) for c in comps]
+        n_queries = len(per_table_keys[0]) if per_table_keys else 0
+        return [
+            self._scan(
+                (
+                    table.get(keys[i], ())
+                    for keys, table in zip(per_table_keys, self._tables)
+                ),
+                max_retrieved,
+            )
+            for i in range(n_queries)
+        ]
+
+
+class PackedBackend(IndexBackend):
+    """CSR-style layout over uint64 fingerprints, fully vectorized.
+
+    Per table ``t`` the build stores
+
+    * ``_unique[t]`` — sorted distinct fingerprints, shape ``(B_t,)``;
+    * ``_offsets[t]`` — bucket boundaries into the point-index array,
+      shape ``(B_t + 1,)``;
+    * a slice of the shared ``_ids`` array holding point indices grouped by
+      fingerprint (stable argsort, so within a bucket indices are in
+      insertion order, matching :class:`DictBackend`).
+    """
+
+    name = "packed"
+
+    def __init__(self) -> None:
+        self._unique: list[np.ndarray] = []
+        self._offsets: list[np.ndarray] = []
+        self._base: np.ndarray = np.empty(0, dtype=np.int64)
+        self._ids: np.ndarray = np.empty(0, dtype=np.int64)
+        self._n_points = 0
+
+    def build(self, tables: list[np.ndarray]) -> None:
+        self._n_points = tables[0].shape[0] if tables else 0
+        # Narrow point ids to int32 when they fit — halves the memory
+        # traffic of the query-time gather and dedup passes.
+        ids_dtype = (
+            np.int32 if self._n_points <= np.iinfo(np.int32).max else np.int64
+        )
+        self._unique = []
+        self._offsets = []
+        base = []
+        id_parts = []
+        position = 0
+        for comps in tables:
+            fps = rows_to_fingerprints(comps)
+            order = np.argsort(fps, kind="stable").astype(ids_dtype)
+            sorted_fps = fps[order]
+            unique, starts = np.unique(sorted_fps, return_index=True)
+            self._unique.append(unique)
+            self._offsets.append(
+                np.append(starts, sorted_fps.size).astype(np.int64)
+            )
+            id_parts.append(order)
+            base.append(position)
+            position += order.size
+        self._base = np.asarray(base, dtype=np.int64)
+        self._ids = (
+            np.concatenate(id_parts) if id_parts else np.empty(0, dtype=ids_dtype)
+        )
+
+    def bucket(self, table: int, components: np.ndarray) -> np.ndarray:
+        unique = self._unique[table]
+        if unique.size == 0:
+            return np.empty(0, dtype=np.int64)
+        fp = rows_to_fingerprints(components)[0]
+        pos = int(np.searchsorted(unique, fp))
+        if pos >= unique.size or unique[pos] != fp:
+            return np.empty(0, dtype=np.int64)
+        offsets = self._offsets[table]
+        lo = self._base[table] + offsets[pos]
+        hi = self._base[table] + offsets[pos + 1]
+        return self._ids[lo:hi]
+
+    def bucket_sizes(self) -> list[int]:
+        return [
+            int(size)
+            for offsets in self._offsets
+            for size in np.diff(offsets)
+        ]
+
+    def batch_query(
+        self, comps: list[np.ndarray], max_retrieved: int | None = None
+    ) -> list[tuple[list[int], QueryStats]]:
+        n_tables = len(comps)
+        # (L, nq): one fingerprint per (table, query).
+        qfps = np.stack([rows_to_fingerprints(c) for c in comps])
+        n_queries = qfps.shape[1]
+        starts = np.zeros((n_tables, n_queries), dtype=np.int64)
+        counts = np.zeros((n_tables, n_queries), dtype=np.int64)
+        for t in range(n_tables):
+            unique = self._unique[t]
+            if unique.size == 0:
+                continue
+            offsets = self._offsets[t]
+            pos = np.searchsorted(unique, qfps[t])
+            pos_c = np.minimum(pos, unique.size - 1)
+            found = unique[pos_c] == qfps[t]
+            lo = offsets[pos_c]
+            starts[t] = np.where(found, lo + self._base[t], 0)
+            counts[t] = np.where(found, offsets[pos_c + 1] - lo, 0)
+
+        # Early termination (Theorem 6.1): a query stops after the first
+        # table at which its cumulative retrieval count reaches the budget.
+        cumulative = np.cumsum(counts, axis=0)
+        if max_retrieved is None:
+            tables_probed = np.full(n_queries, n_tables, dtype=np.int64)
+            truncated = np.zeros(n_queries, dtype=bool)
+        else:
+            over = cumulative >= max_retrieved
+            truncated = over.any(axis=0)
+            tables_probed = np.where(
+                truncated, np.argmax(over, axis=0) + 1, n_tables
+            )
+        included = np.arange(n_tables)[:, None] < tables_probed[None, :]
+        counts = np.where(included, counts, 0)
+        retrieved = counts.sum(axis=0)
+
+        # One gather for all (query, table) buckets, query-major so each
+        # query's hits are contiguous and in table order.
+        lengths = counts.T.ravel()
+        flat_starts = starts.T.ravel()
+        total = int(lengths.sum())
+        if total:
+            ends = np.cumsum(lengths)
+            gather = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(ends - lengths, lengths)
+                + np.repeat(flat_starts, lengths)
+            )
+            hits = self._ids[gather]
+        else:
+            hits = np.empty(0, dtype=np.int64)
+        query_ends = np.cumsum(retrieved)
+
+        # First-seen dedup without sorting: stamp each point id with the
+        # position of its first occurrence in the query's segment (reversed
+        # fancy-index write, so the earliest position wins), then keep hits
+        # whose own position carries the stamp.  O(hits) per query, and no
+        # reset between queries — only just-stamped entries are ever read.
+        stamp = np.empty(self._n_points, dtype=self._ids.dtype)
+        all_positions = np.arange(
+            int(retrieved.max(initial=0)), dtype=self._ids.dtype
+        )
+        results: list[tuple[list[int], QueryStats]] = []
+        for i in range(n_queries):
+            segment = hits[query_ends[i] - retrieved[i] : query_ends[i]]
+            if segment.size:
+                positions = all_positions[: segment.size]
+                stamp[segment[::-1]] = positions[::-1]
+                ordered = segment[stamp[segment] == positions].tolist()
+            else:
+                ordered = []
+            results.append(
+                (
+                    ordered,
+                    QueryStats(
+                        retrieved=int(retrieved[i]),
+                        unique_candidates=len(ordered),
+                        tables_probed=int(tables_probed[i]),
+                        truncated=bool(truncated[i]),
+                    ),
+                )
+            )
+        return results
+
+
+BACKENDS: dict[str, type[IndexBackend]] = {
+    DictBackend.name: DictBackend,
+    PackedBackend.name: PackedBackend,
+}
+
+
+def make_backend(spec: str | IndexBackend | type[IndexBackend]) -> IndexBackend:
+    """Resolve a backend spec: a name (``"dict"``/``"packed"``), an
+    :class:`IndexBackend` subclass, or a ready instance."""
+    if isinstance(spec, IndexBackend):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, IndexBackend):
+        return spec()
+    if isinstance(spec, str):
+        try:
+            return BACKENDS[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown index backend {spec!r}; available: {sorted(BACKENDS)}"
+            ) from None
+    raise TypeError(f"backend must be a name, class, or instance, got {spec!r}")

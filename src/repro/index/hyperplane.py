@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.index.annulus import AnnulusIndex, AnnulusQueryResult, sphere_annulus_index
+from repro.index.backends import IndexBackend
 from repro.utils.validation import check_in_open_interval
 
 __all__ = ["HyperplaneIndex", "hyperplane_rho"]
@@ -42,6 +43,9 @@ class HyperplaneIndex:
         Repetition count ``L``.
     rng:
         Seed or generator.
+    backend:
+        Storage backend forwarded to the underlying index (``"packed"`` by
+        default).
     """
 
     def __init__(
@@ -51,6 +55,7 @@ class HyperplaneIndex:
         t: float,
         n_tables: int,
         rng: int | np.random.Generator | None = None,
+        backend: str | IndexBackend = "packed",
     ):
         check_in_open_interval(alpha, 0.0, 1.0, "alpha")
         self.alpha = float(alpha)
@@ -60,6 +65,7 @@ class HyperplaneIndex:
             t=t,
             n_tables=n_tables,
             rng=rng,
+            backend=backend,
         )
 
     def query(self, query_point: np.ndarray) -> AnnulusQueryResult:

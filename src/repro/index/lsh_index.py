@@ -9,47 +9,23 @@ family's CPF at their distance, so retrieval statistics (candidates,
 duplicates) are the empirical face of everything the paper proves about
 CPFs.
 
-Multi-component hash rows are serialized to ``bytes`` for bucketing.
+Storage is pluggable (:mod:`repro.index.backends`): the ``"dict"`` backend
+buckets serialized component rows in per-table hash maps (the reference
+layout), the ``"packed"`` backend mixes rows to uint64 fingerprints and
+stores CSR-style sorted arrays probed with ``np.searchsorted`` (the
+vectorized production layout).  Both return identical candidates, order,
+and stats.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from repro.core.family import DSHFamily, HashPair, rows_to_keys
+from repro.core.family import DSHFamily, HashPair
+from repro.index.backends import IndexBackend, QueryStats, make_backend
 from repro.utils.rng import ensure_rng
 
 __all__ = ["QueryStats", "DSHIndex"]
-
-
-@dataclass
-class QueryStats:
-    """Instrumentation for one query.
-
-    Attributes
-    ----------
-    retrieved:
-        Total number of (point, table) hits — counts duplicates, i.e. the
-        work the query performs.
-    unique_candidates:
-        Number of distinct data points retrieved.
-    tables_probed:
-        Tables inspected before termination (== L unless stopped early).
-    truncated:
-        Whether an early-termination candidate budget stopped the scan.
-    """
-
-    retrieved: int = 0
-    unique_candidates: int = 0
-    tables_probed: int = 0
-    truncated: bool = False
-
-    @property
-    def duplicates(self) -> int:
-        """Redundant retrievals — the waste Theorem 6.5 is about."""
-        return self.retrieved - self.unique_candidates
 
 
 class DSHIndex:
@@ -64,12 +40,17 @@ class DSHIndex:
         Number ``L`` of independent repetitions.
     rng:
         Seed or generator for sampling the ``L`` pairs.
+    backend:
+        Storage layout: ``"dict"`` (reference, exact byte keys) or
+        ``"packed"`` (vectorized CSR over uint64 fingerprints), a backend
+        class, or a ready :class:`~repro.index.backends.IndexBackend`
+        instance.
 
     Notes
     -----
     The index stores point *indices*; callers keep the point array.  Build
-    cost is ``O(L n)`` hash evaluations, the per-table layout is a plain
-    ``dict[bytes, list[int]]``.
+    cost is ``O(L n)`` hash evaluations; the per-table layout is chosen by
+    ``backend``.
     """
 
     def __init__(
@@ -77,27 +58,33 @@ class DSHIndex:
         family: DSHFamily,
         n_tables: int,
         rng: int | np.random.Generator | None = None,
+        backend: str | IndexBackend | type[IndexBackend] = "dict",
     ):
         if n_tables < 1:
             raise ValueError(f"n_tables must be >= 1, got {n_tables}")
         self.family = family
         self.n_tables = int(n_tables)
         self._pairs: list[HashPair] = family.sample_pairs(n_tables, ensure_rng(rng))
-        self._tables: list[dict[bytes, list[int]]] = []
+        self._backend: IndexBackend = make_backend(backend)
+        if self._backend._bound:
+            raise ValueError(
+                "backend instance is already attached to another DSHIndex; "
+                "pass the backend name or class to get a fresh instance"
+            )
+        self._backend._bound = True
         self._n_points = 0
         self._built = False
+
+    @property
+    def backend(self) -> str:
+        """Name of the active storage backend."""
+        return self._backend.name
 
     def build(self, points: np.ndarray) -> "DSHIndex":
         """Hash all ``points`` (shape ``(n, d)``) into the ``L`` tables."""
         points = np.atleast_2d(np.asarray(points))
-        self._tables = []
         self._n_points = points.shape[0]
-        for pair in self._pairs:
-            table: dict[bytes, list[int]] = {}
-            keys = rows_to_keys(pair.hash_data(points))
-            for idx, key in enumerate(keys):
-                table.setdefault(key, []).append(idx)
-            self._tables.append(table)
+        self._backend.build([pair.hash_data(points) for pair in self._pairs])
         self._built = True
         return self
 
@@ -109,11 +96,22 @@ class DSHIndex:
     def bucket_sizes(self) -> list[int]:
         """All bucket sizes across tables (for load diagnostics)."""
         self._require_built()
-        return [len(bucket) for table in self._tables for bucket in table.values()]
+        return self._backend.bucket_sizes()
 
     def _require_built(self) -> None:
         if not self._built:
             raise RuntimeError("index not built; call build(points) first")
+
+    def _query_components(self, query: np.ndarray) -> list[np.ndarray]:
+        """Hash one or more query rows through every table's ``g``."""
+        return [pair.hash_query(query) for pair in self._pairs]
+
+    @staticmethod
+    def _single_query(query: np.ndarray) -> np.ndarray:
+        query = np.atleast_2d(np.asarray(query))
+        if query.shape[0] != 1:
+            raise ValueError(f"query must be a single point, got {query.shape[0]}")
+        return query
 
     def query_candidates(
         self, query: np.ndarray, max_retrieved: int | None = None
@@ -133,39 +131,39 @@ class DSHIndex:
         -------
         (list[int], QueryStats)
             Distinct candidate indices in first-seen order, plus stats.
+
+        Notes
+        -----
+        Hashing is lazy per table (a generator feeds the backend), so a
+        truncating budget also stops hash evaluation at the truncating
+        table — hash work for tables beyond it is never spent.
         """
         self._require_built()
-        query = np.atleast_2d(np.asarray(query))
-        if query.shape[0] != 1:
-            raise ValueError(f"query must be a single point, got {query.shape[0]}")
-        stats = QueryStats()
-        seen: set[int] = set()
-        ordered: list[int] = []
-        for pair, table in zip(self._pairs, self._tables):
-            key = rows_to_keys(pair.hash_query(query))[0]
-            bucket = table.get(key, ())
-            stats.retrieved += len(bucket)
-            for idx in bucket:
-                if idx not in seen:
-                    seen.add(idx)
-                    ordered.append(idx)
-            stats.tables_probed += 1
-            if max_retrieved is not None and stats.retrieved >= max_retrieved:
-                stats.truncated = True
-                break
-        stats.unique_candidates = len(ordered)
-        return ordered, stats
+        query = self._single_query(query)
+        return self._backend.query(
+            (pair.hash_query(query) for pair in self._pairs), max_retrieved
+        )
 
     def iter_candidates(self, query: np.ndarray):
         """Yield ``(index, table_number)`` hits lazily in probe order,
         *with* duplicates — callers wanting streaming early termination
-        (annulus search) consume as much as they need."""
+        (annulus search) consume as much as they need.  Hashing stays lazy:
+        table ``i`` is only hashed/probed if the consumer reaches it."""
         self._require_built()
-        query = np.atleast_2d(np.asarray(query))
-        for table_number, (pair, table) in enumerate(zip(self._pairs, self._tables)):
-            key = rows_to_keys(pair.hash_query(query))[0]
-            for idx in table.get(key, ()):
-                yield idx, table_number
+        query = self._single_query(query)
+        for table_number, pair in enumerate(self._pairs):
+            bucket = self._backend.bucket(table_number, pair.hash_query(query))
+            for idx in bucket:
+                yield int(idx), table_number
+
+    def query_hits(self, query: np.ndarray) -> np.ndarray:
+        """All hits for one query as a flat int64 index array in probe
+        order, duplicates preserved — the bulk counterpart of
+        :meth:`iter_candidates` for consumers that always drain every table
+        (range reporting)."""
+        self._require_built()
+        query = self._single_query(query)
+        return self._backend.query_hits(self._query_components(query))
 
     def batch_query(
         self, queries: np.ndarray, max_retrieved: int | None = None
@@ -173,33 +171,12 @@ class DSHIndex:
         """Run :meth:`query_candidates` for each row of ``queries``.
 
         Hashes all queries through each table's ``g`` in one vectorized
-        call, then walks buckets per query — the hashing (usually the
-        expensive part for projection-based families) is amortized.
+        call, then hands the component block to the backend: the dict
+        backend walks buckets per query through the same probe routine as
+        :meth:`query_candidates`; the packed backend resolves all
+        ``(query, table)`` buckets with batched ``searchsorted`` + one
+        gather and dedups per query with ``np.unique``.
         """
         self._require_built()
         queries = np.atleast_2d(np.asarray(queries))
-        n = queries.shape[0]
-        per_query_keys: list[list[bytes]] = [[] for _ in range(n)]
-        for pair in self._pairs:
-            keys = rows_to_keys(pair.hash_query(queries))
-            for i, key in enumerate(keys):
-                per_query_keys[i].append(key)
-        results: list[tuple[list[int], QueryStats]] = []
-        for i in range(n):
-            stats = QueryStats()
-            seen: set[int] = set()
-            ordered: list[int] = []
-            for key, table in zip(per_query_keys[i], self._tables):
-                bucket = table.get(key, ())
-                stats.retrieved += len(bucket)
-                for idx in bucket:
-                    if idx not in seen:
-                        seen.add(idx)
-                        ordered.append(idx)
-                stats.tables_probed += 1
-                if max_retrieved is not None and stats.retrieved >= max_retrieved:
-                    stats.truncated = True
-                    break
-            stats.unique_candidates = len(ordered)
-            results.append((ordered, stats))
-        return results
+        return self._backend.batch_query(self._query_components(queries), max_retrieved)

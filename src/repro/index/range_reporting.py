@@ -21,6 +21,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.family import DSHFamily
+from repro.index.backends import IndexBackend
 from repro.index.lsh_index import DSHIndex
 from repro.utils.rng import ensure_rng
 
@@ -90,6 +91,9 @@ class RangeReportingIndex:
         ``1 - e^{-c}`` on the flat region).
     rng:
         Seed or generator.
+    backend:
+        Storage backend forwarded to :class:`DSHIndex` (``"packed"`` by
+        default).
     """
 
     def __init__(
@@ -100,33 +104,46 @@ class RangeReportingIndex:
         distance: Callable[[np.ndarray, np.ndarray], np.ndarray],
         n_tables: int,
         rng: int | np.random.Generator | None = None,
+        backend: str | IndexBackend = "packed",
     ):
         if r_report <= 0:
             raise ValueError(f"r_report must be positive, got {r_report}")
         self.points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         self.r_report = float(r_report)
         self.distance = distance
-        self._index = DSHIndex(family, n_tables, ensure_rng(rng)).build(self.points)
+        self._index = DSHIndex(
+            family, n_tables, ensure_rng(rng), backend=backend
+        ).build(self.points)
 
     def query(self, query_point: np.ndarray) -> RangeReport:
-        """Retrieve candidates from all tables, report those within range."""
+        """Retrieve candidates from all tables, report those within range.
+
+        Range reporting always drains every table, so the candidate stream
+        comes from :meth:`DSHIndex.query_hits` in bulk; multiplicities are
+        counted with one ``np.unique`` (first-seen candidate order is
+        preserved, matching the streaming implementation this replaced).
+        """
         query_point = np.asarray(query_point, dtype=np.float64).ravel()
-        counts: dict[int, int] = {}
-        for idx, _table in self._index.iter_candidates(query_point):
-            counts[idx] = counts.get(idx, 0) + 1
-        if counts:
-            cand = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+        hits = self._index.query_hits(query_point)
+        if hits.size:
+            unique, first_seen, multiplicity = np.unique(
+                hits, return_index=True, return_counts=True
+            )
+            order = np.argsort(first_seen, kind="stable")
+            cand = unique[order]
+            multiplicity = multiplicity[order]
             dists = self.distance(query_point, self.points[cand])
-            in_range = cand[dists <= self.r_report]
-            reported = tuple(int(i) for i in in_range)
-            in_range_retrievals = int(sum(counts[int(i)] for i in in_range))
+            in_range = dists <= self.r_report
+            reported = tuple(int(i) for i in cand[in_range])
+            in_range_retrievals = int(multiplicity[in_range].sum())
         else:
+            unique = hits
             reported = ()
             in_range_retrievals = 0
         return RangeReport(
             indices=reported,
-            retrieved=int(sum(counts.values())),
-            unique_candidates=len(counts),
+            retrieved=int(hits.size),
+            unique_candidates=int(unique.size),
             in_range_retrievals=in_range_retrievals,
         )
 
