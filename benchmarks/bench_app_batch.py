@@ -1,0 +1,150 @@
+"""Application-layer batched queries: ``batch_query`` vs a single-query loop.
+
+PR 1 made the *raw* index ~6x faster on batched queries; this benchmark
+measures what the batch-first application API recovers of that at the
+Section 6 application layers, where the single-query paths are lazy Python
+streams (annulus search: per-table hashing + per-candidate proximity
+checks; range reporting: per-query drain + dedup).  ``batch_query`` routes
+both through the packed backend's batched searchsorted/gather core with
+per-query budget truncation intact, so the speedup is pure vectorization —
+results are checked element-for-element identical before any timing is
+trusted.
+
+Workloads (full size: n = 50k points, L = 32 tables):
+
+* annulus search (Theorem 6.4 sphere instantiation) with a mixed query
+  stream — some queries find an in-band point after a few candidates, the
+  rest drain their budget — the regime a serving process actually sees;
+* range reporting (Theorem 6.5) with a sharpened (powered) step family,
+  i.e. lean candidate streams where per-query fixed costs dominate.  (With
+  very dense streams the cost is the per-query candidate processing itself,
+  which both paths share — batching is then neutral, not harmful.)
+
+Set ``BENCH_SMOKE=1`` to shrink the instance for CI smoke runs (the
+speedup assertions are only enforced at full size).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.combinators import PoweredFamily
+from repro.data.synthetic import planted_euclidean_range
+from repro.families.step import design_step_family
+from repro.index import RangeReportingIndex, sphere_annulus_index
+from repro.spaces import sphere
+
+from _harness import fmt_row, report
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+N_POINTS = 2_000 if SMOKE else 50_000
+N_QUERIES = 32 if SMOKE else 256
+N_TABLES = 8 if SMOKE else 32
+SEED = 2018
+MIN_SPEEDUP = 3.0
+
+ANNULUS_D = 32
+ANNULUS_BAND = (0.5, 0.65)
+ANNULUS_T = 1.8
+
+RANGE_D = 8
+RANGE_RADIUS = 4.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def _assert_annulus_equal(loop_results, batch_results):
+    for single, batched in zip(loop_results, batch_results):
+        assert single.index == batched.index
+        assert single.stats == batched.stats
+
+
+def _annulus_case():
+    rng = np.random.default_rng(SEED)
+    points = sphere.random_points(N_POINTS, ANNULUS_D, rng=rng)
+    queries = sphere.random_points(N_QUERIES, ANNULUS_D, rng=rng)
+    index = sphere_annulus_index(
+        points, ANNULUS_BAND, t=ANNULUS_T, n_tables=N_TABLES, rng=SEED + 1,
+        backend="packed",
+    )
+    index.batch_query(queries[:8])  # warm-up (hash closures, allocator)
+    loop_results, loop_s = _timed(lambda: [index.query(q) for q in queries])
+    batch_results, batch_s = _timed(lambda: index.batch_query(queries))
+    _assert_annulus_equal(loop_results, batch_results)
+    found = sum(r.found for r in loop_results)
+    return loop_s, batch_s, f"{found}/{N_QUERIES} found"
+
+
+def _range_case():
+    inst = planted_euclidean_range(
+        N_POINTS, RANGE_D, RANGE_RADIUS, n_near=60, rng=SEED
+    )
+    design = design_step_family(
+        RANGE_D, r_flat=RANGE_RADIUS, level=0.3, n_components=4
+    )
+    family = PoweredFamily(design.family, 2)
+    rng = np.random.default_rng(SEED + 2)
+    # Half the queries sit on the planted neighborhood, half far away.
+    queries = np.vstack(
+        [
+            inst.query + rng.normal(0, 0.5, size=(N_QUERIES // 2, RANGE_D)),
+            rng.normal(0, 30.0, size=(N_QUERIES - N_QUERIES // 2, RANGE_D)),
+        ]
+    )
+    index = RangeReportingIndex(
+        inst.points,
+        family,
+        RANGE_RADIUS,
+        lambda q, pts: np.linalg.norm(pts - q, axis=1),
+        N_TABLES,
+        rng=SEED + 3,
+        backend="packed",
+    )
+    index.batch_query(queries[:8])
+    loop_results, loop_s = _timed(lambda: [index.query(q) for q in queries])
+    batch_results, batch_s = _timed(lambda: index.batch_query(queries))
+    assert loop_results == batch_results
+    reported = sum(len(r.indices) for r in loop_results)
+    return loop_s, batch_s, f"{reported} total reported"
+
+
+def bench_application_batch_query(benchmark):
+    """Time annulus + range-reporting batch_query against single-query
+    loops; require >= 3x batched speedup on both at full size."""
+    cases, _total_s = _timed(
+        lambda: {"annulus": _annulus_case(), "range_reporting": _range_case()}
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        "Application-layer batch_query vs single-query loop on the packed "
+        f"backend (n={N_POINTS}, L={N_TABLES}, {N_QUERIES} queries"
+        f"{', SMOKE' if SMOKE else ''})",
+        fmt_row("application", "loop s", "batch s", "speedup", "workload",
+                width=20),
+    ]
+    speedups = {}
+    for name, (loop_s, batch_s, note) in cases.items():
+        speedups[name] = loop_s / batch_s
+        lines.append(
+            fmt_row(name, loop_s, batch_s, f"x{loop_s / batch_s:.1f}", note,
+                    width=20)
+        )
+    lines += [
+        "",
+        "batch results were checked element-for-element identical to the "
+        "loop before timing (indices, stats, truncation).",
+    ]
+    report("app_batch", lines)
+    # Timing assertions only at full size — smoke instances are small
+    # enough that fixed costs and scheduler noise dominate.
+    if not SMOKE:
+        for name, speedup in speedups.items():
+            assert speedup >= MIN_SPEEDUP, (
+                f"{name} batch_query only x{speedup:.2f} faster than the "
+                f"single-query loop (required x{MIN_SPEEDUP})"
+            )

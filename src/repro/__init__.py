@@ -18,7 +18,14 @@ implements the paper's framework end to end:
   (:mod:`repro.bounds`, :mod:`repro.booleancube`);
 * the Section 6 applications: annulus search, hyperplane queries, range
   reporting, privacy-preserving distance estimation (:mod:`repro.index`,
-  :mod:`repro.privacy`).
+  :mod:`repro.privacy`), all constructible from serializable specs through
+  one batch-first facade (:mod:`repro.api`)::
+
+      from repro.api import build_index
+
+      index = build_index(points, kind="annulus", family="annulus_sphere",
+                          t=1.7, interval=(0.35, 0.75), n_tables=150, rng=7)
+      results = index.batch_query(queries)
 
 Quickstart::
 
@@ -36,9 +43,10 @@ Quickstart::
     print(est.p_hat, family.cpf(0.3))
 """
 
-from repro import booleancube, bounds, core, data, families, index, privacy, spaces
+from repro import api, booleancube, bounds, core, data, families, index, privacy, spaces
+from repro.api import IndexSpec, build_index
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "core",
@@ -49,5 +57,8 @@ __all__ = [
     "index",
     "privacy",
     "data",
+    "api",
+    "IndexSpec",
+    "build_index",
     "__version__",
 ]

@@ -1,0 +1,450 @@
+"""Spec-driven construction of every Section 6 application index.
+
+One facade over the whole index layer, mirroring the index-factory surface
+of production ANN libraries: an :class:`IndexSpec` names a *kind* (which
+data structure), a *family* (which registered DSH family backs it, see
+:mod:`repro.families.registry`), and plain serializable parameters —
+``to_dict`` / ``from_dict`` round-trip exactly, so a serving process can
+rebuild an identical index (same seed, same hash pairs, same answers) from
+config alone.
+
+Kinds
+-----
+``raw``
+    The bare Theorem 6.1 candidate machine (:class:`~repro.index.DSHIndex`).
+``annulus``
+    Approximate annulus search (:class:`~repro.index.AnnulusIndex`);
+    options: ``interval`` (required), ``proximity`` (a name from
+    :data:`PROXIMITIES`; defaults to ``"inner_product"`` for the
+    ``annulus_sphere`` family), ``budget_factor``.
+``hyperplane``
+    Near-orthogonal-vector queries (:class:`~repro.index.HyperplaneIndex`);
+    options: ``alpha``, ``t`` (the family is the Section 6.2 sphere family,
+    built internally).
+``range_reporting``
+    Output-sensitive range reporting
+    (:class:`~repro.index.RangeReportingIndex`); options: ``r_report``,
+    ``distance`` (a name from :data:`PROXIMITIES`).
+
+Every built index satisfies the :class:`~repro.index.queryable.Queryable`
+protocol — ``query(point)`` and ``batch_query(points)`` with
+stats-carrying results — and remembers its spec as ``index.spec``.
+
+Quickstart::
+
+    from repro.api import build_index
+
+    index = build_index(
+        points, kind="annulus", family="annulus_sphere",
+        t=1.7, interval=(0.35, 0.75), n_tables=150, rng=7,
+    )
+    results = index.batch_query(queries)       # vectorized multi-query
+    config = index.spec.to_dict()              # -> JSON-able dict
+    clone = IndexSpec.from_dict(config).build(points)   # identical index
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.families.registry import (
+    check_power,
+    family_entry,
+    family_names,
+    make_family,
+    validate_family_params,
+)
+from repro.index.annulus import AnnulusIndex, sphere_peak_placement
+from repro.index.backends import BACKENDS
+from repro.index.hyperplane import HyperplaneIndex
+from repro.index.lsh_index import DSHIndex
+from repro.index.range_reporting import RangeReportingIndex
+
+__all__ = [
+    "PROXIMITIES",
+    "IndexSpec",
+    "build_index",
+    "register_proximity",
+]
+
+SPEC_VERSION = 1
+
+
+def _inner_product(query: np.ndarray, points: np.ndarray) -> np.ndarray:
+    return points @ query
+
+
+def _euclidean_distance(query: np.ndarray, points: np.ndarray) -> np.ndarray:
+    return np.linalg.norm(points - query, axis=1)
+
+
+def _hamming_distance(query: np.ndarray, points: np.ndarray) -> np.ndarray:
+    return np.count_nonzero(points != query, axis=1)
+
+
+#: Named row-wise proximity / distance functions
+#: ``(query (d,), points (m, d)) -> (m,)``.  Specs refer to these by name so
+#: they serialize; :func:`register_proximity` adds custom ones.
+PROXIMITIES: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "inner_product": _inner_product,
+    "euclidean_distance": _euclidean_distance,
+    "hamming_distance": _hamming_distance,
+}
+
+
+def register_proximity(
+    name: str,
+    func: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    overwrite: bool = False,
+) -> None:
+    """Register a named proximity so specs using it stay serializable."""
+    if name in PROXIMITIES and not overwrite:
+        raise ValueError(
+            f"proximity {name!r} is already registered; pass overwrite=True"
+        )
+    PROXIMITIES[name] = func
+
+
+def _resolve_proximity(spec_value: Any) -> Callable:
+    if callable(spec_value):
+        return spec_value
+    try:
+        return PROXIMITIES[spec_value]
+    except KeyError:
+        raise ValueError(
+            f"unknown proximity {spec_value!r}; registered: "
+            f"{sorted(PROXIMITIES)} (or pass a callable, which is not "
+            "serializable)"
+        ) from None
+
+
+def _plain(value: Any) -> Any:
+    """Recursively coerce numpy scalars (and tuples) to JSON-able builtins;
+    anything else passes through unchanged."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in value.items()}
+    return value
+
+
+KINDS = ("raw", "annulus", "hyperplane", "range_reporting")
+
+# Option keys each kind accepts: {name: required}.
+_KIND_OPTIONS: dict[str, dict[str, bool]] = {
+    "raw": {},
+    "annulus": {"interval": True, "proximity": False, "budget_factor": False},
+    "hyperplane": {"alpha": True, "t": True, "budget_factor": False},
+    "range_reporting": {"r_report": True, "distance": True},
+}
+
+# Kinds whose spec carries a family name (hyperplane builds its own).
+_FAMILY_KINDS = ("raw", "annulus", "range_reporting")
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """A complete, serializable recipe for one application index.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`KINDS`.
+    family:
+        Registered family name (``None`` for ``kind="hyperplane"``, which
+        derives its own Section 6.2 family from ``alpha``/``t``).
+    family_params:
+        Flat parameters for the family's validated dataclass, plus the
+        generic ``power`` (Lemma 1.4(a) concatenation count).
+    n_tables:
+        Repetition count ``L``.
+    backend:
+        Storage backend name (``"dict"`` or ``"packed"``).
+    seed:
+        Integer seed for sampling the hash pairs; two builds of the same
+        spec over the same points answer queries identically.  ``None``
+        draws fresh entropy (the spec still serializes, but rebuilds are
+        not reproducible).
+    options:
+        Kind-specific options (see module docstring).
+    """
+
+    kind: str
+    family: str | None = None
+    family_params: dict[str, Any] = field(default_factory=dict)
+    n_tables: int = 1
+    backend: str = "packed"
+    seed: int | None = None
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown kind {self.kind!r}; expected one of {KINDS}")
+        if self.n_tables < 1:
+            raise ValueError(f"n_tables must be >= 1, got {self.n_tables}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; available: {sorted(BACKENDS)}"
+            )
+        if self.seed is not None and not isinstance(self.seed, (int, np.integer)):
+            raise ValueError(
+                f"seed must be an int or None (specs must serialize), "
+                f"got {type(self.seed).__name__}"
+            )
+        if self.kind in _FAMILY_KINDS:
+            if self.family is None:
+                raise ValueError(
+                    f"kind {self.kind!r} needs a family; registered: "
+                    f"{family_names()}"
+                )
+            params = dict(self.family_params)
+            check_power(params.pop("power", 1))
+            validate_family_params(self.family, params)
+        elif self.family is not None:
+            raise ValueError(
+                f"kind {self.kind!r} builds its own family; family must be None"
+            )
+        allowed = _KIND_OPTIONS[self.kind]
+        unknown = set(self.options) - set(allowed)
+        if unknown:
+            raise ValueError(
+                f"unknown option(s) {sorted(unknown)} for kind {self.kind!r}; "
+                f"accepted: {sorted(allowed)}"
+            )
+        missing = {k for k, req in allowed.items() if req} - set(self.options)
+        if missing:
+            raise ValueError(
+                f"missing required option(s) {sorted(missing)} for kind "
+                f"{self.kind!r}"
+            )
+        if "interval" in self.options:
+            lo, hi = self.options["interval"]
+            if not lo < hi:
+                raise ValueError(
+                    f"interval must satisfy lo < hi, got {(lo, hi)}"
+                )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-able); inverse of :meth:`from_dict`.
+        Numpy scalars in parameters are coerced to builtins."""
+        options = dict(self.options)
+        if "interval" in options:
+            options["interval"] = [float(v) for v in options["interval"]]
+        for key in ("proximity", "distance"):
+            if key in options and callable(options[key]):
+                raise ValueError(
+                    f"option {key!r} is a bare callable; register it with "
+                    "repro.api.register_proximity and use its name to make "
+                    "the spec serializable"
+                )
+        return {
+            "version": SPEC_VERSION,
+            "kind": self.kind,
+            "family": self.family,
+            "family_params": _plain(dict(self.family_params)),
+            "n_tables": int(self.n_tables),
+            "backend": self.backend,
+            "seed": None if self.seed is None else int(self.seed),
+            "options": _plain(options),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "IndexSpec":
+        """Rebuild (and re-validate) a spec from :meth:`to_dict` output."""
+        data = dict(data)
+        version = data.pop("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"unsupported spec version {version!r} (this build reads "
+                f"version {SPEC_VERSION})"
+            )
+        unknown = set(data) - {
+            "kind", "family", "family_params", "n_tables", "backend",
+            "seed", "options",
+        }
+        if unknown:
+            raise ValueError(f"unknown spec field(s): {sorted(unknown)}")
+        options = dict(data.get("options", {}))
+        if "interval" in options:
+            options["interval"] = tuple(options["interval"])
+        return cls(
+            kind=data["kind"],
+            family=data.get("family"),
+            family_params=dict(data.get("family_params", {})),
+            n_tables=data.get("n_tables", 1),
+            backend=data.get("backend", "packed"),
+            seed=data.get("seed"),
+            options=options,
+        )
+
+    # -- construction ----------------------------------------------------
+
+    def _make_family(self):
+        params = dict(self.family_params)
+        power = params.pop("power", 1)
+        return make_family(self.family, power=power, **params)
+
+    def build(self, points: np.ndarray):
+        """Build the index described by this spec over ``points``.
+
+        The returned object satisfies
+        :class:`~repro.index.queryable.Queryable` and carries this spec as
+        ``index.spec``.
+        """
+        opts = self.options
+        if self.kind == "raw":
+            index = DSHIndex(
+                self._make_family(),
+                n_tables=self.n_tables,
+                rng=self.seed,
+                backend=self.backend,
+            ).build(points)
+        elif self.kind == "annulus":
+            proximity = opts.get("proximity")
+            if proximity is None:
+                if self.family != "annulus_sphere":
+                    raise ValueError(
+                        "kind='annulus' needs an explicit proximity option "
+                        f"for family {self.family!r}; registered proximities: "
+                        f"{sorted(PROXIMITIES)}"
+                    )
+                proximity = "inner_product"
+            index = AnnulusIndex(
+                points,
+                self._make_family(),
+                interval=tuple(opts["interval"]),
+                proximity=_resolve_proximity(proximity),
+                n_tables=self.n_tables,
+                budget_factor=opts.get("budget_factor", 8.0),
+                rng=self.seed,
+                backend=self.backend,
+            )
+        elif self.kind == "hyperplane":
+            index = HyperplaneIndex(
+                points,
+                alpha=opts["alpha"],
+                t=opts["t"],
+                n_tables=self.n_tables,
+                budget_factor=opts.get("budget_factor", 8.0),
+                rng=self.seed,
+                backend=self.backend,
+            )
+        else:  # range_reporting
+            index = RangeReportingIndex(
+                points,
+                self._make_family(),
+                r_report=opts["r_report"],
+                distance=_resolve_proximity(opts["distance"]),
+                n_tables=self.n_tables,
+                rng=self.seed,
+                backend=self.backend,
+            )
+        index.spec = self
+        return index
+
+
+def build_index(
+    points: np.ndarray,
+    *,
+    kind: str = "raw",
+    family: str | None = None,
+    n_tables: int,
+    backend: str = "packed",
+    rng: int | None = None,
+    **params: Any,
+) -> DSHIndex | AnnulusIndex | HyperplaneIndex | RangeReportingIndex:
+    """Build any application index from a kind, a family name, and flat
+    parameters — the single construction entry point.
+
+    Remaining keyword arguments are routed automatically: names matching
+    the family's parameter dataclass (plus ``power``) become family
+    parameters, names matching the kind's options become options, anything
+    else raises with both accepted sets.  Two conveniences keep call sites
+    terse:
+
+    * ``d`` is inferred from ``points`` when the family needs it and it is
+      omitted;
+    * for ``kind="annulus"`` with ``family="annulus_sphere"``, an omitted
+      ``alpha_max`` is placed at the Theorem 6.4 geometric midpoint of the
+      reporting ``interval``.
+
+    The resulting index carries its full, explicit :class:`IndexSpec` as
+    ``index.spec`` (``index.spec.to_dict()`` is the serving config).
+    """
+    points = np.atleast_2d(np.asarray(points))
+    if rng is not None and not isinstance(rng, (int, np.integer)):
+        raise TypeError(
+            "build_index takes an int seed (or None) so the spec can "
+            "serialize; pass a generator to the index classes directly if "
+            "you need one"
+        )
+    allowed_options = _KIND_OPTIONS.get(kind)
+    if allowed_options is None:
+        raise ValueError(f"unknown kind {kind!r}; expected one of {KINDS}")
+
+    family_fields: set[str] = set()
+    if kind in _FAMILY_KINDS:
+        if family is None:
+            raise ValueError(
+                f"kind {kind!r} needs a family; registered: {family_names()}"
+            )
+        family_fields = {
+            f.name for f in dataclasses.fields(family_entry(family).params_type)
+        } | {"power"}
+    elif family is not None:
+        raise ValueError(f"kind {kind!r} builds its own family; omit family=")
+
+    family_params: dict[str, Any] = {}
+    options: dict[str, Any] = {}
+    for key, value in params.items():
+        in_family = key in family_fields
+        in_options = key in allowed_options
+        if in_family and in_options:
+            raise ValueError(
+                f"parameter {key!r} is ambiguous between family "
+                f"{family!r} and kind {kind!r} options; build an IndexSpec "
+                "explicitly"
+            )
+        if in_family:
+            family_params[key] = value
+        elif in_options:
+            options[key] = value
+        else:
+            raise ValueError(
+                f"unknown parameter {key!r} for kind={kind!r}, "
+                f"family={family!r}; family parameters: "
+                f"{sorted(family_fields)}, options: {sorted(allowed_options)}"
+            )
+
+    if "d" in family_fields and "d" not in family_params:
+        family_params["d"] = int(points.shape[1])
+    if (
+        kind == "annulus"
+        and family == "annulus_sphere"
+        and "alpha_max" not in family_params
+        and "interval" in options
+    ):
+        family_params["alpha_max"] = sphere_peak_placement(
+            tuple(options["interval"])
+        )
+
+    spec = IndexSpec(
+        kind=kind,
+        family=family,
+        family_params=family_params,
+        n_tables=n_tables,
+        backend=backend,
+        seed=None if rng is None else int(rng),
+        options=options,
+    )
+    return spec.build(points)

@@ -17,6 +17,9 @@
   D = D+ (x) D- (Section 6.2, Theorem 6.2, Figure 3).
 * :mod:`repro.families.step` — step-function CPFs from mixtures
   (Figure 2, Sections 6.3-6.4).
+* :mod:`repro.families.registry` — the name -> constructor registry with
+  validated parameter dataclasses behind spec-driven construction
+  (:mod:`repro.api`).
 """
 
 from repro.families.annulus_sphere import AnnulusFamily, annulus_interval, theorem64_rho
@@ -45,6 +48,15 @@ from repro.families.hamming_annulus import (
 from repro.families.polynomial_hamming import (
     build_polynomial_family,
     mixture_polynomial_family,
+)
+from repro.families.registry import (
+    FAMILY_REGISTRY,
+    FamilyEntry,
+    family_entry,
+    family_names,
+    make_family,
+    register_family,
+    validate_family_params,
 )
 from repro.families.simhash import SimHash
 from repro.families.step import design_step_family
@@ -75,4 +87,11 @@ __all__ = [
     "annulus_interval",
     "theorem64_rho",
     "design_step_family",
+    "FAMILY_REGISTRY",
+    "FamilyEntry",
+    "family_entry",
+    "family_names",
+    "make_family",
+    "register_family",
+    "validate_family_params",
 ]

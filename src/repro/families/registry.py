@@ -1,0 +1,316 @@
+"""Name-based registry of constructible DSH families.
+
+The spec-driven construction layer (:mod:`repro.api`) needs to build any
+family from plain serializable data: a *name* plus a flat parameter dict.
+This module maps registered names to constructors through **validated
+parameter dataclasses** — unknown parameter names, missing required
+parameters, and out-of-domain values all fail with a clear ``ValueError``
+at the API boundary instead of deep inside a family's ``__init__``.
+
+Every entry also understands the generic ``power`` parameter: ``power=k``
+wraps the constructed family in
+:class:`~repro.core.combinators.PoweredFamily` (Lemma 1.4(a)
+concatenation), the standard way to sharpen a family's CPF for indexing.
+
+Registered names (see :func:`family_names`): ``simhash``,
+``bit_sampling``, ``anti_bit_sampling``, ``euclidean_lsh``,
+``annulus_sphere``, ``hamming_annulus``, ``cross_polytope``,
+``negated_cross_polytope``, ``step_euclidean``.  Third-party families can
+be added with :func:`register_family`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.combinators import PoweredFamily
+from repro.core.family import DSHFamily
+from repro.families.annulus_sphere import AnnulusFamily
+from repro.families.bit_sampling import AntiBitSampling, BitSampling
+from repro.families.cross_polytope import CrossPolytope, negated_cross_polytope
+from repro.families.euclidean_lsh import ShiftedGaussianProjection
+from repro.families.hamming_annulus import HammingAnnulusFamily
+from repro.families.simhash import SimHash
+from repro.families.step import design_step_family
+
+__all__ = [
+    "FamilyEntry",
+    "FAMILY_REGISTRY",
+    "register_family",
+    "family_names",
+    "family_entry",
+    "validate_family_params",
+    "check_power",
+    "make_family",
+]
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class DimParams:
+    """Parameters of families needing only an ambient dimension."""
+
+    d: int
+
+    def __post_init__(self) -> None:
+        _check(int(self.d) >= 1, f"d must be >= 1, got {self.d}")
+
+
+@dataclass(frozen=True)
+class EuclideanLSHParams:
+    """Shifted random-projection family (Section 4.2, equation (2))."""
+
+    d: int
+    w: float
+    k: int = 0
+
+    def __post_init__(self) -> None:
+        _check(int(self.d) >= 1, f"d must be >= 1, got {self.d}")
+        _check(float(self.w) > 0, f"w must be positive, got {self.w}")
+        _check(int(self.k) >= 0, f"k must be >= 0, got {self.k}")
+
+
+@dataclass(frozen=True)
+class AnnulusSphereParams:
+    """The Section 6.2 sphere family ``D+ (x) D-`` peaking at ``alpha_max``."""
+
+    d: int
+    alpha_max: float
+    t: float
+    m_plus: int | None = None
+    m_minus: int | None = None
+
+    def __post_init__(self) -> None:
+        _check(int(self.d) >= 1, f"d must be >= 1, got {self.d}")
+        _check(
+            -1.0 < float(self.alpha_max) < 1.0,
+            f"alpha_max must lie in (-1, 1), got {self.alpha_max}",
+        )
+        _check(float(self.t) > 0, f"t must be positive, got {self.t}")
+
+
+@dataclass(frozen=True)
+class HammingAnnulusParams:
+    """Unimodal family on the Hamming cube peaking at relative distance
+    ``peak``."""
+
+    d: int
+    peak: float
+    k2: int = 4
+
+    def __post_init__(self) -> None:
+        _check(int(self.d) >= 1, f"d must be >= 1, got {self.d}")
+        _check(
+            0.0 < float(self.peak) < 1.0,
+            f"peak must lie in (0, 1), got {self.peak}",
+        )
+        _check(int(self.k2) >= 1, f"k2 must be >= 1, got {self.k2}")
+
+
+@dataclass(frozen=True)
+class StepEuclideanParams:
+    """Figure 2 step-CPF mixture: ~``level``-flat on ``[0, r_flat]``."""
+
+    d: int
+    r_flat: float
+    level: float
+    n_components: int = 6
+    w: float | None = None
+
+    def __post_init__(self) -> None:
+        _check(int(self.d) >= 1, f"d must be >= 1, got {self.d}")
+        _check(float(self.r_flat) > 0, f"r_flat must be positive, got {self.r_flat}")
+        _check(
+            0.0 < float(self.level) <= 0.5,
+            f"level must lie in (0, 0.5], got {self.level}",
+        )
+        _check(
+            int(self.n_components) >= 1,
+            f"n_components must be >= 1, got {self.n_components}",
+        )
+
+
+@dataclass(frozen=True)
+class FamilyEntry:
+    """One registered family: a constructor plus its parameter dataclass."""
+
+    name: str
+    params_type: type
+    build: Callable[[Any], DSHFamily]
+    description: str = ""
+
+    def make(self, params: Any) -> DSHFamily:
+        return self.build(params)
+
+
+FAMILY_REGISTRY: dict[str, FamilyEntry] = {}
+
+
+def register_family(
+    name: str,
+    params_type: type,
+    build: Callable[[Any], DSHFamily],
+    description: str = "",
+    overwrite: bool = False,
+) -> FamilyEntry:
+    """Register a constructible family under ``name``.
+
+    ``params_type`` must be a dataclass whose ``__post_init__`` validates
+    value domains; ``build`` receives a validated instance and returns the
+    family.  Re-registering an existing name requires ``overwrite=True``.
+    """
+    if not dataclasses.is_dataclass(params_type):
+        raise TypeError(
+            f"params_type for {name!r} must be a dataclass, got {params_type!r}"
+        )
+    if name in FAMILY_REGISTRY and not overwrite:
+        raise ValueError(
+            f"family {name!r} is already registered; pass overwrite=True "
+            "to replace it"
+        )
+    entry = FamilyEntry(
+        name=name, params_type=params_type, build=build, description=description
+    )
+    FAMILY_REGISTRY[name] = entry
+    return entry
+
+
+def family_names() -> list[str]:
+    """Sorted names of all registered families."""
+    return sorted(FAMILY_REGISTRY)
+
+
+def family_entry(name: str) -> FamilyEntry:
+    """Look up a registry entry; unknown names get a listing of valid ones."""
+    try:
+        return FAMILY_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown family {name!r}; registered families: {family_names()}"
+        ) from None
+
+
+def validate_family_params(name: str, params: dict[str, Any]) -> Any:
+    """Validate a raw parameter dict against ``name``'s dataclass.
+
+    Returns the validated dataclass instance.  Unknown keys, missing
+    required keys, and out-of-domain values raise ``ValueError`` naming the
+    family and its accepted parameters.
+    """
+    entry = family_entry(name)
+    fields = {f.name for f in dataclasses.fields(entry.params_type)}
+    unknown = set(params) - fields
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {sorted(unknown)} for family {name!r}; "
+            f"accepted: {sorted(fields)}"
+        )
+    required = {
+        f.name
+        for f in dataclasses.fields(entry.params_type)
+        if f.default is dataclasses.MISSING
+        and f.default_factory is dataclasses.MISSING
+    }
+    missing = required - set(params)
+    if missing:
+        raise ValueError(
+            f"missing required parameter(s) {sorted(missing)} for family "
+            f"{name!r}"
+        )
+    return entry.params_type(**params)
+
+
+def check_power(power: Any) -> int:
+    """Validate the generic ``power`` parameter: a whole number ``>= 1``
+    (``power=2.5`` must fail loudly, not silently truncate)."""
+    as_int = int(power)
+    if as_int != power or as_int < 1:
+        raise ValueError(f"power must be an integer >= 1, got {power!r}")
+    return as_int
+
+
+def make_family(name: str, power: int = 1, **params: Any) -> DSHFamily:
+    """Construct a registered family from its name and flat parameters.
+
+    ``power > 1`` concatenates ``power`` independent draws
+    (:class:`PoweredFamily`, Lemma 1.4(a)) — the standard sharpening knob
+    for indexing, uniform across families.
+    """
+    power = check_power(power)
+    family = family_entry(name).make(validate_family_params(name, params))
+    if power > 1:
+        family = PoweredFamily(family, power)
+    return family
+
+
+register_family(
+    "simhash",
+    DimParams,
+    lambda p: SimHash(p.d),
+    "Charikar's hyperplane-rounding LSH; CPF 1 - arccos(alpha)/pi",
+)
+register_family(
+    "bit_sampling",
+    DimParams,
+    lambda p: BitSampling(p.d),
+    "Hamming bit-sampling LSH; CPF 1 - t (Section 4.1)",
+)
+register_family(
+    "anti_bit_sampling",
+    DimParams,
+    lambda p: AntiBitSampling(p.d),
+    "Anti bit-sampling; *increasing* CPF t (Section 4.1)",
+)
+register_family(
+    "euclidean_lsh",
+    EuclideanLSHParams,
+    lambda p: ShiftedGaussianProjection(p.d, w=p.w, k=p.k),
+    "Shifted Gaussian projection, unimodal CPF peaking near k*w "
+    "(Section 4.2, eq. (2))",
+)
+register_family(
+    "annulus_sphere",
+    AnnulusSphereParams,
+    lambda p: AnnulusFamily(
+        p.d, alpha_max=p.alpha_max, t=p.t, m_plus=p.m_plus, m_minus=p.m_minus
+    ),
+    "Sphere annulus family D+ (x) D- peaking at alpha_max "
+    "(Section 6.2, Theorem 6.2)",
+)
+register_family(
+    "hamming_annulus",
+    HammingAnnulusParams,
+    lambda p: HammingAnnulusFamily(p.d, peak=p.peak, k2=p.k2),
+    "Unimodal Hamming family peaking at relative distance `peak`",
+)
+register_family(
+    "cross_polytope",
+    DimParams,
+    lambda p: CrossPolytope(p.d),
+    "Cross-polytope LSH on the sphere (Section 2.1)",
+)
+register_family(
+    "negated_cross_polytope",
+    DimParams,
+    lambda p: negated_cross_polytope(p.d),
+    "Cross-polytope composed with x -> -x: increasing CPF (Corollary 2.2)",
+)
+register_family(
+    "step_euclidean",
+    StepEuclideanParams,
+    lambda p: design_step_family(
+        p.d,
+        r_flat=p.r_flat,
+        level=p.level,
+        n_components=p.n_components,
+        w=p.w,
+    ).family,
+    "Figure 2 step-CPF mixture, ~level-flat on [0, r_flat] "
+    "(Sections 6.3-6.4)",
+)

@@ -11,11 +11,17 @@
   queries (Section 6.1).
 * :mod:`repro.index.range_reporting` — output-sensitive spherical range
   reporting with step-function CPFs (Section 6.3, Theorem 6.5).
+* :mod:`repro.index.queryable` — the common batch-first query surface
+  (``query`` / ``batch_query`` with stats-carrying results) every
+  application index exposes; see :mod:`repro.api` for spec-driven
+  construction.
 """
 
 from repro.index.annulus import AnnulusIndex, AnnulusQueryResult, sphere_annulus_index
 from repro.index.backends import (
     BACKENDS,
+    BatchHits,
+    CandidateResult,
     DictBackend,
     IndexBackend,
     PackedBackend,
@@ -23,11 +29,16 @@ from repro.index.backends import (
 )
 from repro.index.hyperplane import HyperplaneIndex
 from repro.index.lsh_index import DSHIndex, QueryStats
+from repro.index.queryable import Queryable, QueryResult
 from repro.index.range_reporting import RangeReportingIndex, RangeReport
 
 __all__ = [
     "DSHIndex",
     "QueryStats",
+    "CandidateResult",
+    "BatchHits",
+    "Queryable",
+    "QueryResult",
     "IndexBackend",
     "DictBackend",
     "PackedBackend",

@@ -10,6 +10,14 @@ The implementation is proximity-agnostic: pass any row-wise proximity
 function (Euclidean distance, inner product, Hamming distance) plus the
 reporting interval.  :func:`sphere_annulus_index` wires it to the
 Section 6.2 sphere family for the Theorem 6.4 setting.
+
+:class:`AnnulusIndex` is :class:`~repro.index.queryable.Queryable`:
+:meth:`AnnulusIndex.query` streams candidates lazily (the literal Theorem
+6.1 procedure, stopping hash work at the first in-interval hit), while
+:meth:`AnnulusIndex.batch_query` routes a whole query block through the
+backend's batched hits-with-multiplicity path and a vectorized proximity
+check — element-for-element identical results, held together by the
+differential batch-vs-loop parity suite.
 """
 
 from __future__ import annotations
@@ -21,37 +29,45 @@ import numpy as np
 
 from repro.core.family import DSHFamily
 from repro.families.annulus_sphere import AnnulusFamily
-from repro.index.backends import IndexBackend
+from repro.index.backends import IndexBackend, QueryStats
 from repro.index.lsh_index import DSHIndex
+from repro.index.queryable import QueryResult
 from repro.utils.rng import ensure_rng
 
 __all__ = ["AnnulusQueryResult", "AnnulusIndex", "sphere_annulus_index"]
 
 
 @dataclass(frozen=True)
-class AnnulusQueryResult:
+class AnnulusQueryResult(QueryResult):
     """Outcome of one annulus query.
 
     Attributes
     ----------
+    stats:
+        Retrieval work behind the answer: ``retrieved`` counts candidate
+        hits consumed (with multiplicity, bounded by the ``8 L`` budget per
+        the Theorem 6.1 proof), ``truncated`` flags a budget exhaustion
+        without a hit.
     index:
         Index of a reported point with proximity inside the reporting
         interval, or ``None`` if the search failed / exhausted its budget.
     proximity:
         The reported point's proximity to the query (``nan`` when ``None``).
-    candidates_examined:
-        Number of candidate retrievals consumed (with multiplicity) — the
-        query's work, bounded by ``8 L`` per the Theorem 6.1 proof.
     """
 
     index: int | None
     proximity: float
-    candidates_examined: int
 
     @property
     def found(self) -> bool:
         """Whether a valid point was reported."""
         return self.index is not None
+
+    @property
+    def candidates_examined(self) -> int:
+        """Candidate retrievals consumed (with multiplicity) — legacy
+        spelling of ``stats.retrieved``."""
+        return self.stats.retrieved
 
 
 class AnnulusIndex:
@@ -108,28 +124,136 @@ class AnnulusIndex:
             family, n_tables, ensure_rng(rng), backend=backend
         ).build(self.points)
 
+    @property
+    def backend(self) -> str:
+        """Name of the underlying storage backend."""
+        return self._index.backend
+
+    @property
+    def n_points(self) -> int:
+        """Number of indexed points."""
+        return self._index.n_points
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(family={type(self._index.family).__name__}, "
+            f"L={self._index.n_tables}, backend={self.backend!r}, "
+            f"n_points={self.n_points}, interval={self.interval})"
+        )
+
+    def _not_found(
+        self, examined: int, unique: int, tables_probed: int, truncated: bool
+    ) -> AnnulusQueryResult:
+        return AnnulusQueryResult(
+            stats=QueryStats(
+                retrieved=examined,
+                unique_candidates=unique,
+                tables_probed=tables_probed,
+                truncated=truncated,
+            ),
+            index=None,
+            proximity=float("nan"),
+        )
+
     def query(self, query_point: np.ndarray) -> AnnulusQueryResult:
         """Report one point with proximity in the interval, if found.
 
         Streams candidates in probe order, checking proximities one by one,
         and stops at the first hit or when the retrieval budget is spent —
-        the exact procedure from the proof of Theorem 6.1.
+        the exact procedure from the proof of Theorem 6.1.  Duplicate hits
+        count toward the budget but their proximity is never recomputed.
         """
         query_point = np.asarray(query_point, dtype=np.float64).ravel()
         lo, hi = self.interval
         examined = 0
-        for idx, _table in self._index.iter_candidates(query_point):
+        seen: set[int] = set()
+        last_table = 0
+        truncated = False
+        for idx, table in self._index.iter_candidates(query_point):
             examined += 1
-            value = float(self.proximity(query_point, self.points[idx : idx + 1])[0])
-            if lo <= value <= hi:
-                return AnnulusQueryResult(
-                    index=idx, proximity=value, candidates_examined=examined
+            last_table = table
+            if idx not in seen:
+                seen.add(idx)
+                value = float(
+                    self.proximity(query_point, self.points[idx : idx + 1])[0]
                 )
+                if lo <= value <= hi:
+                    return AnnulusQueryResult(
+                        stats=QueryStats(
+                            retrieved=examined,
+                            unique_candidates=len(seen),
+                            tables_probed=table + 1,
+                        ),
+                        index=idx,
+                        proximity=value,
+                    )
             if examined >= self.budget:
+                truncated = True
                 break
-        return AnnulusQueryResult(
-            index=None, proximity=float("nan"), candidates_examined=examined
-        )
+        tables_probed = last_table + 1 if truncated else self._index.n_tables
+        return self._not_found(examined, len(seen), tables_probed, truncated)
+
+    def batch_query(self, query_points: np.ndarray) -> list[AnnulusQueryResult]:
+        """Run :meth:`query` for every row of ``query_points``, vectorized.
+
+        All queries are hashed through each table's ``g`` in one call and
+        every (query, table) bucket is resolved by the backend's batched
+        hits-with-multiplicity path (one ``searchsorted`` + gather on the
+        packed backend), already clipped to the per-query ``8 L`` budget at
+        exact hit granularity.  Proximities are then evaluated once per
+        *distinct* candidate per query.  Results — indices, stats,
+        truncation — are element-for-element identical to a :meth:`query`
+        loop (the batch-vs-loop parity suite enforces this on both
+        backends); reported ``proximity`` values may differ from the
+        single-query path in the last floating-point bit, because BLAS may
+        order the reduction of a many-row proximity evaluation differently
+        than a one-row one.
+        """
+        queries = np.atleast_2d(np.asarray(query_points, dtype=np.float64))
+        block = self._index.batch_query_hits(queries, max_hits=self.budget)
+        n_tables = self._index.n_tables
+        lo, hi = self.interval
+        results: list[AnnulusQueryResult] = []
+        for i in range(queries.shape[0]):
+            segment = block.segment(i)
+            if segment.size == 0:
+                results.append(self._not_found(0, 0, n_tables, False))
+                continue
+            unique, inverse = np.unique(segment, return_inverse=True)
+            prox = np.asarray(
+                self.proximity(queries[i], self.points[unique]), dtype=np.float64
+            )
+            in_range = (prox >= lo) & (prox <= hi)
+            hit_positions = np.flatnonzero(in_range[inverse])
+            if hit_positions.size:
+                p = int(hit_positions[0])
+                results.append(
+                    AnnulusQueryResult(
+                        stats=QueryStats(
+                            retrieved=p + 1,
+                            unique_candidates=int(
+                                np.unique(segment[: p + 1]).size
+                            ),
+                            tables_probed=block.table_of(i, p) + 1,
+                        ),
+                        index=int(segment[p]),
+                        proximity=float(prox[inverse[p]]),
+                    )
+                )
+            else:
+                truncated = bool(block.truncated[i])
+                tables_probed = (
+                    block.table_of(i, segment.size - 1) + 1
+                    if truncated
+                    else n_tables
+                )
+                results.append(
+                    self._not_found(
+                        int(segment.size), int(unique.size), tables_probed,
+                        truncated,
+                    )
+                )
+        return results
 
     def query_many(
         self, query_point: np.ndarray, k: int
@@ -139,7 +263,8 @@ class AnnulusIndex:
         Continues streaming candidates past the first hit (still within the
         retrieval budget), deduplicating indices — the natural extension for
         consumers like recommenders that want several diverse answers.
-        Returns the hits found, possibly fewer than ``k``.
+        Returns the hits found, possibly fewer than ``k``; each result's
+        stats snapshot the work done up to that hit.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -148,7 +273,7 @@ class AnnulusIndex:
         examined = 0
         seen: set[int] = set()
         hits: list[AnnulusQueryResult] = []
-        for idx, _table in self._index.iter_candidates(query_point):
+        for idx, table in self._index.iter_candidates(query_point):
             examined += 1
             if idx not in seen:
                 seen.add(idx)
@@ -158,7 +283,13 @@ class AnnulusIndex:
                 if lo <= value <= hi:
                     hits.append(
                         AnnulusQueryResult(
-                            index=idx, proximity=value, candidates_examined=examined
+                            stats=QueryStats(
+                                retrieved=examined,
+                                unique_candidates=len(seen),
+                                tables_probed=table + 1,
+                            ),
+                            index=idx,
+                            proximity=value,
                         )
                     )
                     if len(hits) == k:
@@ -199,13 +330,7 @@ def sphere_annulus_index(
     n_tables, rng, budget_factor, backend:
         As in :class:`AnnulusIndex`.
     """
-    beta_minus, beta_plus = alpha_interval
-    if not -1.0 < beta_minus < beta_plus < 1.0:
-        raise ValueError(f"need -1 < beta_- < beta_+ < 1, got {alpha_interval}")
-    a_lo = (1.0 - beta_plus) / (1.0 + beta_plus)
-    a_hi = (1.0 - beta_minus) / (1.0 + beta_minus)
-    a_mid = float(np.sqrt(a_lo * a_hi))
-    alpha_max = (1.0 - a_mid) / (1.0 + a_mid)
+    alpha_max = sphere_peak_placement(alpha_interval)
     d = np.atleast_2d(points).shape[1]
     family = AnnulusFamily(d, alpha_max=alpha_max, t=t)
     return AnnulusIndex(
@@ -218,3 +343,18 @@ def sphere_annulus_index(
         rng=rng,
         backend=backend,
     )
+
+
+def sphere_peak_placement(alpha_interval: tuple[float, float]) -> float:
+    """The Theorem 6.4 peak placement: ``alpha_max`` at the geometric
+    midpoint of the reporting interval in the ``a(alpha)``
+    parameterization.  Exposed so spec-driven construction
+    (:mod:`repro.api`) can fill in a family's peak from an interval.
+    Validates that the interval is a legal inner-product band."""
+    beta_minus, beta_plus = alpha_interval
+    if not -1.0 < beta_minus < beta_plus < 1.0:
+        raise ValueError(f"need -1 < beta_- < beta_+ < 1, got {alpha_interval}")
+    a_lo = (1.0 - beta_plus) / (1.0 + beta_plus)
+    a_hi = (1.0 - beta_minus) / (1.0 + beta_minus)
+    a_mid = float(np.sqrt(a_lo * a_hi))
+    return (1.0 - a_mid) / (1.0 + a_mid)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
@@ -36,6 +37,8 @@ from repro.core.family import rows_to_fingerprints, rows_to_keys
 
 __all__ = [
     "QueryStats",
+    "CandidateResult",
+    "BatchHits",
     "IndexBackend",
     "DictBackend",
     "PackedBackend",
@@ -72,6 +75,73 @@ class QueryStats:
         return self.retrieved - self.unique_candidates
 
 
+class CandidateResult(NamedTuple):
+    """Outcome of one raw candidate query: distinct candidate indices in
+    first-seen order plus :class:`QueryStats`.
+
+    A ``NamedTuple`` on purpose: it compares equal to — and unpacks like —
+    the plain ``(candidates, stats)`` tuples the pre-registry API returned,
+    so ``candidates, stats = index.query(q)`` and ``result.indices`` /
+    ``result.stats`` are both valid spellings of the same object.
+    """
+
+    indices: list[int]
+    stats: QueryStats
+
+
+@dataclass(frozen=True)
+class BatchHits:
+    """All (point, table) hits for a batch of queries, with multiplicity.
+
+    The bulk counterpart of :meth:`IndexBackend.query_hits`: the raw
+    retrieval stream the Section 6 application layers consume — annulus
+    search examines it in probe order until a proximity check passes,
+    range reporting drains it and counts multiplicities.
+
+    Attributes
+    ----------
+    hits:
+        Flat point-index array, query-major; within a query, hits are in
+        probe order (table by table, insertion order inside a bucket).
+    offsets:
+        Shape ``(n_queries + 1,)``; query ``i`` owns
+        ``hits[offsets[i]:offsets[i + 1]]``.
+    table_counts:
+        Shape ``(n_queries, L)``: how many of query ``i``'s hits came from
+        each table (after ``max_hits`` truncation), so consumers can
+        recover the table of any hit position without storing a parallel
+        table array.
+    truncated:
+        Shape ``(n_queries,)`` bool: whether the query's stream was cut by
+        ``max_hits`` — i.e. exactly ``max_hits`` hits were gathered (a
+        lazily-consuming caller cannot know whether more would have come,
+        so reaching the cap *is* the truncation signal, matching the
+        streaming single-query semantics).
+    """
+
+    hits: np.ndarray
+    offsets: np.ndarray
+    table_counts: np.ndarray
+    truncated: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        return self.offsets.size - 1
+
+    def segment(self, i: int) -> np.ndarray:
+        """Query ``i``'s hits in probe order (duplicates preserved)."""
+        return self.hits[self.offsets[i] : self.offsets[i + 1]]
+
+    def table_of(self, i: int, position: int) -> int:
+        """Table number that produced hit ``position`` (0-based, within
+        query ``i``'s segment)."""
+        return int(
+            np.searchsorted(
+                np.cumsum(self.table_counts[i]), position, side="right"
+            )
+        )
+
+
 class IndexBackend(ABC):
     """Storage layout behind a :class:`DSHIndex`.
 
@@ -104,13 +174,13 @@ class IndexBackend(ABC):
     @abstractmethod
     def batch_query(
         self, comps: list[np.ndarray], max_retrieved: int | None = None
-    ) -> list[tuple[list[int], QueryStats]]:
-        """Probe all tables for every query row; one ``(candidates, stats)``
-        pair per query, candidates distinct and in first-seen order."""
+    ) -> list[CandidateResult]:
+        """Probe all tables for every query row; one :class:`CandidateResult`
+        per query, candidates distinct and in first-seen order."""
 
     def _scan(
         self, buckets, max_retrieved: int | None
-    ) -> tuple[list[int], QueryStats]:
+    ) -> CandidateResult:
         """THE reference probe routine (first-seen dedup + the Theorem 6.1
         early-termination budget) over a lazily-consumed iterable of
         buckets, one per table in table order.  Every non-vectorized query
@@ -132,11 +202,11 @@ class IndexBackend(ABC):
                 stats.truncated = True
                 break
         stats.unique_candidates = len(ordered)
-        return ordered, stats
+        return CandidateResult(ordered, stats)
 
     def query(
         self, comps, max_retrieved: int | None = None
-    ) -> tuple[list[int], QueryStats]:
+    ) -> CandidateResult:
         """Single-query probe.  ``comps`` may be any iterable of per-table
         ``(1, c)`` component rows and is consumed lazily, so a truncating
         budget also stops upstream hash evaluation (the caller can pass a
@@ -155,6 +225,57 @@ class IndexBackend(ABC):
         if not parts:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(parts)
+
+    def batch_query_hits(
+        self, comps: list[np.ndarray], max_hits: int | None = None
+    ) -> BatchHits:
+        """Bulk hit streams for every query row: the batched counterpart of
+        :meth:`query_hits`, feeding the application-layer ``batch_query``
+        paths.
+
+        Unlike :meth:`batch_query`'s ``max_retrieved`` (the Theorem 6.1
+        device, which truncates at *table* granularity), ``max_hits`` cuts
+        each query's stream at exactly ``max_hits`` hits — the semantics of
+        a consumer that counts every hit it examines and stops mid-bucket
+        (annulus search under its ``8L`` budget).
+
+        This reference implementation walks buckets per query in Python;
+        :class:`PackedBackend` overrides it with one batched
+        ``searchsorted`` + gather.
+        """
+        n_tables = len(comps)
+        n_queries = comps[0].shape[0] if n_tables else 0
+        table_counts = np.zeros((n_queries, n_tables), dtype=np.int64)
+        truncated = np.zeros(n_queries, dtype=bool)
+        parts: list[np.ndarray] = []
+        lengths = np.zeros(n_queries, dtype=np.int64)
+        for i in range(n_queries):
+            gathered = 0
+            for t in range(n_tables):
+                if max_hits is not None and gathered >= max_hits:
+                    break
+                bucket = np.asarray(
+                    self.bucket(t, comps[t][i : i + 1]), dtype=np.int64
+                )
+                if max_hits is not None and gathered + bucket.size > max_hits:
+                    bucket = bucket[: max_hits - gathered]
+                table_counts[i, t] = bucket.size
+                gathered += bucket.size
+                if bucket.size:
+                    parts.append(bucket)
+            lengths[i] = gathered
+            truncated[i] = max_hits is not None and gathered == max_hits
+        offsets = np.zeros(n_queries + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        hits = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        return BatchHits(
+            hits=hits,
+            offsets=offsets,
+            table_counts=table_counts,
+            truncated=truncated,
+        )
 
 
 class DictBackend(IndexBackend):
@@ -182,7 +303,7 @@ class DictBackend(IndexBackend):
 
     def batch_query(
         self, comps: list[np.ndarray], max_retrieved: int | None = None
-    ) -> list[tuple[list[int], QueryStats]]:
+    ) -> list[CandidateResult]:
         per_table_keys = [rows_to_keys(c) for c in comps]
         n_queries = len(per_table_keys[0]) if per_table_keys else 0
         return [
@@ -268,9 +389,12 @@ class PackedBackend(IndexBackend):
             for size in np.diff(offsets)
         ]
 
-    def batch_query(
-        self, comps: list[np.ndarray], max_retrieved: int | None = None
-    ) -> list[tuple[list[int], QueryStats]]:
+    def _lookup(
+        self, comps: list[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve every (table, query) bucket in one ``searchsorted`` per
+        table: returns ``(starts, counts)``, both shape ``(L, n_queries)``,
+        giving each bucket's slice of the shared ``_ids`` array."""
         n_tables = len(comps)
         # (L, nq): one fingerprint per (table, query).
         qfps = np.stack([rows_to_fingerprints(c) for c in comps])
@@ -288,6 +412,30 @@ class PackedBackend(IndexBackend):
             lo = offsets[pos_c]
             starts[t] = np.where(found, lo + self._base[t], 0)
             counts[t] = np.where(found, offsets[pos_c + 1] - lo, 0)
+        return starts, counts
+
+    def _gather(
+        self, flat_starts: np.ndarray, lengths: np.ndarray
+    ) -> np.ndarray:
+        """One flat gather of many variable-length ``_ids`` slices,
+        concatenated in order."""
+        total = int(lengths.sum())
+        if not total:
+            return np.empty(0, dtype=self._ids.dtype)
+        ends = np.cumsum(lengths)
+        gather = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(ends - lengths, lengths)
+            + np.repeat(flat_starts, lengths)
+        )
+        return self._ids[gather]
+
+    def batch_query(
+        self, comps: list[np.ndarray], max_retrieved: int | None = None
+    ) -> list[CandidateResult]:
+        n_tables = len(comps)
+        starts, counts = self._lookup(comps)
+        n_queries = counts.shape[1]
 
         # Early termination (Theorem 6.1): a query stops after the first
         # table at which its cumulative retrieval count reaches the budget.
@@ -307,19 +455,7 @@ class PackedBackend(IndexBackend):
 
         # One gather for all (query, table) buckets, query-major so each
         # query's hits are contiguous and in table order.
-        lengths = counts.T.ravel()
-        flat_starts = starts.T.ravel()
-        total = int(lengths.sum())
-        if total:
-            ends = np.cumsum(lengths)
-            gather = (
-                np.arange(total, dtype=np.int64)
-                - np.repeat(ends - lengths, lengths)
-                + np.repeat(flat_starts, lengths)
-            )
-            hits = self._ids[gather]
-        else:
-            hits = np.empty(0, dtype=np.int64)
+        hits = self._gather(starts.T.ravel(), counts.T.ravel())
         query_ends = np.cumsum(retrieved)
 
         # First-seen dedup without sorting: stamp each point id with the
@@ -331,7 +467,7 @@ class PackedBackend(IndexBackend):
         all_positions = np.arange(
             int(retrieved.max(initial=0)), dtype=self._ids.dtype
         )
-        results: list[tuple[list[int], QueryStats]] = []
+        results: list[CandidateResult] = []
         for i in range(n_queries):
             segment = hits[query_ends[i] - retrieved[i] : query_ends[i]]
             if segment.size:
@@ -341,7 +477,7 @@ class PackedBackend(IndexBackend):
             else:
                 ordered = []
             results.append(
-                (
+                CandidateResult(
                     ordered,
                     QueryStats(
                         retrieved=int(retrieved[i]),
@@ -352,6 +488,38 @@ class PackedBackend(IndexBackend):
                 )
             )
         return results
+
+    def batch_query_hits(
+        self, comps: list[np.ndarray], max_hits: int | None = None
+    ) -> BatchHits:
+        """Vectorized bulk hit streams: batched ``searchsorted`` over all
+        (table, query) buckets, exact per-hit ``max_hits`` clipping computed
+        on the count matrix (so clipped tails are never even gathered), and
+        one flat gather for every query's stream."""
+        starts, counts = self._lookup(comps)
+        n_queries = counts.shape[1]
+        if max_hits is None:
+            allowed = counts
+            truncated = np.zeros(n_queries, dtype=bool)
+        else:
+            # Hits remaining in each query's budget when table t begins:
+            # clip each bucket to it, cutting the stream mid-bucket at
+            # exactly max_hits hits.
+            before = np.cumsum(counts, axis=0) - counts
+            allowed = np.minimum(
+                counts, np.clip(max_hits - before, 0, None)
+            )
+            truncated = allowed.sum(axis=0) == max_hits
+        lengths = allowed.sum(axis=0)
+        hits = self._gather(starts.T.ravel(), allowed.T.ravel())
+        offsets = np.zeros(n_queries + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        return BatchHits(
+            hits=np.asarray(hits, dtype=np.int64),
+            offsets=offsets,
+            table_counts=allowed.T.copy(),
+            truncated=truncated,
+        )
 
 
 BACKENDS: dict[str, type[IndexBackend]] = {

@@ -7,6 +7,10 @@ with ad-hoc asymmetric LSH [52]; in the DSH framework it falls out of the
 Section 6.2 family with ``alpha_max = 0``, achieving
 ``rho* = (1 - alpha^2)/(1 + alpha^2)`` for reporting tolerance ``alpha``
 (Section 6.1 discussion).
+
+:class:`HyperplaneIndex` is :class:`~repro.index.queryable.Queryable`:
+``query`` / ``batch_query`` delegate to the underlying annulus machinery,
+so batched hyperplane queries ride the same vectorized multi-query path.
 """
 
 from __future__ import annotations
@@ -41,6 +45,9 @@ class HyperplaneIndex:
         Filter threshold of the underlying annulus family.
     n_tables:
         Repetition count ``L``.
+    budget_factor:
+        Early termination after ``budget_factor * L`` retrievals
+        (forwarded to :class:`AnnulusIndex`; the Theorem 6.1 proof uses 8).
     rng:
         Seed or generator.
     backend:
@@ -54,6 +61,7 @@ class HyperplaneIndex:
         alpha: float,
         t: float,
         n_tables: int,
+        budget_factor: float = 8.0,
         rng: int | np.random.Generator | None = None,
         backend: str | IndexBackend = "packed",
     ):
@@ -64,10 +72,34 @@ class HyperplaneIndex:
             alpha_interval=(-alpha, alpha),
             t=t,
             n_tables=n_tables,
+            budget_factor=budget_factor,
             rng=rng,
             backend=backend,
+        )
+
+    @property
+    def backend(self) -> str:
+        """Name of the underlying storage backend."""
+        return self._annulus.backend
+
+    @property
+    def n_points(self) -> int:
+        """Number of indexed points."""
+        return self._annulus.n_points
+
+    def __repr__(self) -> str:
+        inner = self._annulus._index
+        return (
+            f"{type(self).__name__}(family={type(inner.family).__name__}, "
+            f"L={inner.n_tables}, backend={self.backend!r}, "
+            f"n_points={self.n_points}, alpha={self.alpha})"
         )
 
     def query(self, query_point: np.ndarray) -> AnnulusQueryResult:
         """Return a point with ``|<x, q>| <= alpha`` if the search succeeds."""
         return self._annulus.query(np.asarray(query_point, dtype=np.float64))
+
+    def batch_query(self, query_points: np.ndarray) -> list[AnnulusQueryResult]:
+        """Run :meth:`query` for every row of ``query_points`` through the
+        vectorized annulus multi-query path (identical results to a loop)."""
+        return self._annulus.batch_query(query_points)

@@ -15,17 +15,30 @@ layout), the ``"packed"`` backend mixes rows to uint64 fingerprints and
 stores CSR-style sorted arrays probed with ``np.searchsorted`` (the
 vectorized production layout).  Both return identical candidates, order,
 and stats.
+
+The query surface follows the repo-wide :class:`~repro.index.queryable.Queryable`
+convention: :meth:`DSHIndex.query` for one point, :meth:`DSHIndex.batch_query`
+for a batch, both returning :class:`~repro.index.backends.CandidateResult`
+(tuple-compatible with the legacy ``(candidates, stats)`` pairs).
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.core.family import DSHFamily, HashPair
-from repro.index.backends import IndexBackend, QueryStats, make_backend
+from repro.index.backends import (
+    BatchHits,
+    CandidateResult,
+    IndexBackend,
+    QueryStats,
+    make_backend,
+)
 from repro.utils.rng import ensure_rng
 
-__all__ = ["QueryStats", "DSHIndex"]
+__all__ = ["QueryStats", "CandidateResult", "DSHIndex"]
 
 
 class DSHIndex:
@@ -73,6 +86,7 @@ class DSHIndex:
             )
         self._backend._bound = True
         self._n_points = 0
+        self._dim: int | None = None
         self._built = False
 
     @property
@@ -80,10 +94,22 @@ class DSHIndex:
         """Name of the active storage backend."""
         return self._backend.name
 
+    def __repr__(self) -> str:
+        built = (
+            f"n_points={self._n_points}, d={self._dim}"
+            if self._built
+            else "unbuilt"
+        )
+        return (
+            f"{type(self).__name__}(family={type(self.family).__name__}, "
+            f"L={self.n_tables}, backend={self.backend!r}, {built})"
+        )
+
     def build(self, points: np.ndarray) -> "DSHIndex":
         """Hash all ``points`` (shape ``(n, d)``) into the ``L`` tables."""
         points = np.atleast_2d(np.asarray(points))
         self._n_points = points.shape[0]
+        self._dim = points.shape[1]
         self._backend.build([pair.hash_data(points) for pair in self._pairs])
         self._built = True
         return self
@@ -92,6 +118,11 @@ class DSHIndex:
     def n_points(self) -> int:
         """Number of indexed points."""
         return self._n_points
+
+    @property
+    def dim(self) -> int | None:
+        """Dimensionality of the built point set (``None`` before build)."""
+        return self._dim
 
     def bucket_sizes(self) -> list[int]:
         """All bucket sizes across tables (for load diagnostics)."""
@@ -102,20 +133,37 @@ class DSHIndex:
         if not self._built:
             raise RuntimeError("index not built; call build(points) first")
 
+    def _check_queries(self, queries: np.ndarray) -> np.ndarray:
+        """Normalize a query block to ``(n, d)`` and validate ``d`` against
+        the built point set — a mismatched query would otherwise fail deep
+        inside a family's hash closure or, for families that slice
+        coordinates, silently mis-hash."""
+        queries = np.atleast_2d(np.asarray(queries))
+        if queries.ndim != 2:
+            raise ValueError(
+                f"queries must be one point (d,) or a block (n, d), "
+                f"got shape {queries.shape}"
+            )
+        if self._dim is not None and queries.shape[1] != self._dim:
+            raise ValueError(
+                f"query dimensionality {queries.shape[1]} does not match "
+                f"the built point set (d={self._dim})"
+            )
+        return queries
+
     def _query_components(self, query: np.ndarray) -> list[np.ndarray]:
         """Hash one or more query rows through every table's ``g``."""
         return [pair.hash_query(query) for pair in self._pairs]
 
-    @staticmethod
-    def _single_query(query: np.ndarray) -> np.ndarray:
-        query = np.atleast_2d(np.asarray(query))
+    def _single_query(self, query: np.ndarray) -> np.ndarray:
+        query = self._check_queries(query)
         if query.shape[0] != 1:
             raise ValueError(f"query must be a single point, got {query.shape[0]}")
         return query
 
-    def query_candidates(
+    def query(
         self, query: np.ndarray, max_retrieved: int | None = None
-    ) -> tuple[list[int], QueryStats]:
+    ) -> CandidateResult:
         """Retrieve candidate indices for a single query point.
 
         Parameters
@@ -129,8 +177,9 @@ class DSHIndex:
 
         Returns
         -------
-        (list[int], QueryStats)
-            Distinct candidate indices in first-seen order, plus stats.
+        CandidateResult
+            Distinct candidate indices in first-seen order, plus stats
+            (unpacks as the legacy ``(candidates, stats)`` tuple).
 
         Notes
         -----
@@ -143,6 +192,19 @@ class DSHIndex:
         return self._backend.query(
             (pair.hash_query(query) for pair in self._pairs), max_retrieved
         )
+
+    def query_candidates(
+        self, query: np.ndarray, max_retrieved: int | None = None
+    ) -> CandidateResult:
+        """Deprecated spelling of :meth:`query` (kept as a shim; identical
+        result object)."""
+        warnings.warn(
+            "DSHIndex.query_candidates is deprecated; use DSHIndex.query "
+            "(same arguments, same tuple-compatible result)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query(query, max_retrieved)
 
     def iter_candidates(self, query: np.ndarray):
         """Yield ``(index, table_number)`` hits lazily in probe order,
@@ -167,16 +229,30 @@ class DSHIndex:
 
     def batch_query(
         self, queries: np.ndarray, max_retrieved: int | None = None
-    ) -> list[tuple[list[int], QueryStats]]:
-        """Run :meth:`query_candidates` for each row of ``queries``.
+    ) -> list[CandidateResult]:
+        """Run :meth:`query` for each row of ``queries``.
 
         Hashes all queries through each table's ``g`` in one vectorized
         call, then hands the component block to the backend: the dict
         backend walks buckets per query through the same probe routine as
-        :meth:`query_candidates`; the packed backend resolves all
-        ``(query, table)`` buckets with batched ``searchsorted`` + one
-        gather and dedups per query with ``np.unique``.
+        :meth:`query`; the packed backend resolves all ``(query, table)``
+        buckets with batched ``searchsorted`` + one gather and dedups per
+        query with a stamp pass.
         """
         self._require_built()
-        queries = np.atleast_2d(np.asarray(queries))
+        queries = self._check_queries(queries)
         return self._backend.batch_query(self._query_components(queries), max_retrieved)
+
+    def batch_query_hits(
+        self, queries: np.ndarray, max_hits: int | None = None
+    ) -> BatchHits:
+        """Bulk hit streams (duplicates preserved, probe order) for a block
+        of queries — the batched counterpart of :meth:`query_hits` that the
+        application layers' ``batch_query`` paths are built on.  ``max_hits``
+        cuts each stream at exactly that many hits (hit granularity, unlike
+        ``max_retrieved``'s table granularity)."""
+        self._require_built()
+        queries = self._check_queries(queries)
+        return self._backend.batch_query_hits(
+            self._query_components(queries), max_hits
+        )

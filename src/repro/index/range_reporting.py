@@ -10,7 +10,11 @@ number of duplicate retrievals per reported point is ``O(f_max / f_min)``
 
 :class:`RangeReportingIndex` runs the ``L = ceil(c / f_min)`` repetitions
 and reports duplicate statistics so the benchmark can compare step CPFs
-against classical LSH head-to-head.
+against classical LSH head-to-head.  It is
+:class:`~repro.index.queryable.Queryable`: :meth:`RangeReportingIndex.query`
+drains the hit stream for one query, :meth:`RangeReportingIndex.batch_query`
+drains a whole block through the backend's batched hits-with-multiplicity
+path with identical per-query results.
 """
 
 from __future__ import annotations
@@ -21,15 +25,16 @@ from typing import Callable
 import numpy as np
 
 from repro.core.family import DSHFamily
-from repro.index.backends import IndexBackend
+from repro.index.backends import IndexBackend, QueryStats
 from repro.index.lsh_index import DSHIndex
+from repro.index.queryable import QueryResult
 from repro.utils.rng import ensure_rng
 
 __all__ = ["RangeReport", "RangeReportingIndex"]
 
 
 @dataclass(frozen=True)
-class RangeReport:
+class RangeReport(QueryResult):
     """Result of one range-reporting query.
 
     The Theorem 6.5 cost model is
@@ -39,12 +44,12 @@ class RangeReport:
 
     Attributes
     ----------
+    stats:
+        Retrieval work: ``retrieved`` counts all candidate retrievals with
+        multiplicity, ``unique_candidates`` the distinct candidates
+        (reported or not).
     indices:
         Distinct reported point indices (distance ``<= r_report``).
-    retrieved:
-        Total candidate retrievals with multiplicity (the query's work).
-    unique_candidates:
-        Distinct candidates retrieved (reported or not).
     in_range_retrievals:
         Retrievals (with multiplicity) of reported points only.
     retrievals_per_report:
@@ -55,8 +60,6 @@ class RangeReport:
     """
 
     indices: tuple[int, ...]
-    retrieved: int
-    unique_candidates: int
     in_range_retrievals: int
 
     @property
@@ -115,16 +118,30 @@ class RangeReportingIndex:
             family, n_tables, ensure_rng(rng), backend=backend
         ).build(self.points)
 
-    def query(self, query_point: np.ndarray) -> RangeReport:
-        """Retrieve candidates from all tables, report those within range.
+    @property
+    def backend(self) -> str:
+        """Name of the underlying storage backend."""
+        return self._index.backend
 
-        Range reporting always drains every table, so the candidate stream
-        comes from :meth:`DSHIndex.query_hits` in bulk; multiplicities are
-        counted with one ``np.unique`` (first-seen candidate order is
-        preserved, matching the streaming implementation this replaced).
-        """
-        query_point = np.asarray(query_point, dtype=np.float64).ravel()
-        hits = self._index.query_hits(query_point)
+    @property
+    def n_points(self) -> int:
+        """Number of indexed points."""
+        return self._index.n_points
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(family={type(self._index.family).__name__}, "
+            f"L={self._index.n_tables}, backend={self.backend!r}, "
+            f"n_points={self.n_points}, r_report={self.r_report})"
+        )
+
+    def _report_from_hits(
+        self, query_point: np.ndarray, hits: np.ndarray
+    ) -> RangeReport:
+        """Turn one query's raw hit stream (duplicates preserved, probe
+        order) into a :class:`RangeReport`: count multiplicities with one
+        ``np.unique``, keep first-seen candidate order, distance-check the
+        distinct candidates."""
         if hits.size:
             unique, first_seen, multiplicity = np.unique(
                 hits, return_index=True, return_counts=True
@@ -136,16 +153,45 @@ class RangeReportingIndex:
             in_range = dists <= self.r_report
             reported = tuple(int(i) for i in cand[in_range])
             in_range_retrievals = int(multiplicity[in_range].sum())
+            n_unique = int(unique.size)
         else:
-            unique = hits
             reported = ()
             in_range_retrievals = 0
+            n_unique = 0
         return RangeReport(
+            stats=QueryStats(
+                retrieved=int(hits.size),
+                unique_candidates=n_unique,
+                tables_probed=self._index.n_tables,
+            ),
             indices=reported,
-            retrieved=int(hits.size),
-            unique_candidates=int(unique.size),
             in_range_retrievals=in_range_retrievals,
         )
+
+    def query(self, query_point: np.ndarray) -> RangeReport:
+        """Retrieve candidates from all tables, report those within range.
+
+        Range reporting always drains every table, so the candidate stream
+        comes from :meth:`DSHIndex.query_hits` in bulk.
+        """
+        query_point = np.asarray(query_point, dtype=np.float64).ravel()
+        hits = self._index.query_hits(query_point)
+        return self._report_from_hits(query_point, hits)
+
+    def batch_query(self, query_points: np.ndarray) -> list[RangeReport]:
+        """Run :meth:`query` for every row of ``query_points``, vectorized.
+
+        All queries are hashed per table in one call and every
+        (query, table) bucket is resolved through the backend's batched
+        hits-with-multiplicity path (one ``searchsorted`` + flat gather on
+        the packed backend); per-query reports are then identical to the
+        single-query loop (enforced by the batch-vs-loop parity suite)."""
+        queries = np.atleast_2d(np.asarray(query_points, dtype=np.float64))
+        block = self._index.batch_query_hits(queries)
+        return [
+            self._report_from_hits(queries[i], block.segment(i))
+            for i in range(queries.shape[0])
+        ]
 
     def recall(self, query_point: np.ndarray, true_indices: set[int]) -> float:
         """Fraction of ``true_indices`` (ground-truth in-range points)

@@ -1,0 +1,175 @@
+"""Tests for the name-based family registry and its validated params."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.combinators import PoweredFamily
+from repro.core.family import DSHFamily, HashPair
+from repro.families import registry
+from repro.families.registry import (
+    FAMILY_REGISTRY,
+    family_entry,
+    family_names,
+    make_family,
+    register_family,
+    validate_family_params,
+)
+from repro.spaces import euclidean, hamming, sphere
+
+# (name, params, point sampler) — every registered family builds and hashes.
+CONSTRUCTIBLE = [
+    ("simhash", {"d": 8}, lambda n: sphere.random_points(n, 8, rng=0)),
+    ("bit_sampling", {"d": 16}, lambda n: hamming.random_points(n, 16, rng=0)),
+    (
+        "anti_bit_sampling",
+        {"d": 16},
+        lambda n: hamming.random_points(n, 16, rng=0),
+    ),
+    (
+        "euclidean_lsh",
+        {"d": 8, "w": 2.0, "k": 1},
+        lambda n: euclidean.random_points(n, 8, rng=0),
+    ),
+    (
+        "annulus_sphere",
+        {"d": 10, "alpha_max": 0.3, "t": 1.5},
+        lambda n: sphere.random_points(n, 10, rng=0),
+    ),
+    (
+        "hamming_annulus",
+        {"d": 16, "peak": 0.3},
+        lambda n: hamming.random_points(n, 16, rng=0),
+    ),
+    ("cross_polytope", {"d": 6}, lambda n: sphere.random_points(n, 6, rng=0)),
+    (
+        "negated_cross_polytope",
+        {"d": 6},
+        lambda n: sphere.random_points(n, 6, rng=0),
+    ),
+    (
+        "step_euclidean",
+        {"d": 8, "r_flat": 4.0, "level": 0.12, "n_components": 3},
+        lambda n: euclidean.random_points(n, 8, rng=0),
+    ),
+]
+
+
+class TestRegistryContents:
+    def test_all_expected_names_registered(self):
+        assert {name for name, _, _ in CONSTRUCTIBLE} <= set(family_names())
+
+    def test_entries_have_descriptions_and_dataclasses(self):
+        for name in family_names():
+            entry = family_entry(name)
+            assert entry.description
+            assert dataclasses.is_dataclass(entry.params_type)
+
+    @pytest.mark.parametrize(
+        "name,params,sampler",
+        CONSTRUCTIBLE,
+        ids=[c[0] for c in CONSTRUCTIBLE],
+    )
+    def test_every_family_constructs_and_hashes(self, name, params, sampler):
+        family = make_family(name, **params)
+        assert isinstance(family, DSHFamily)
+        pair = family.sample(rng=1)
+        points = sampler(5)
+        comps = pair.hash_data(points)
+        assert comps.shape[0] == 5
+        assert comps.dtype == np.int64
+        qcomps = pair.hash_query(points)
+        assert qcomps.shape == comps.shape
+
+    def test_power_wraps_in_powered_family(self):
+        family = make_family("simhash", power=4, d=8)
+        assert isinstance(family, PoweredFamily)
+        pair = family.sample(rng=0)
+        comps = pair.hash_data(sphere.random_points(3, 8, rng=2))
+        assert comps.shape == (3, 4)  # one component per concatenated draw
+
+    def test_power_one_is_identity(self):
+        family = make_family("simhash", power=1, d=8)
+        assert not isinstance(family, PoweredFamily)
+
+
+class TestValidation:
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            make_family("b-tree", d=4)
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            make_family("simhash", d=8, widgets=3)
+
+    def test_missing_required_parameter(self):
+        with pytest.raises(ValueError, match="missing required"):
+            make_family("euclidean_lsh", d=8)  # no w
+
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("simhash", {"d": 0}),
+            ("euclidean_lsh", {"d": 8, "w": -1.0}),
+            ("euclidean_lsh", {"d": 8, "w": 1.0, "k": -1}),
+            ("annulus_sphere", {"d": 8, "alpha_max": 1.5, "t": 1.0}),
+            ("annulus_sphere", {"d": 8, "alpha_max": 0.3, "t": 0.0}),
+            ("hamming_annulus", {"d": 8, "peak": 0.0}),
+            ("step_euclidean", {"d": 8, "r_flat": 4.0, "level": 0.9}),
+        ],
+    )
+    def test_out_of_domain_values(self, name, params):
+        with pytest.raises(ValueError):
+            validate_family_params(name, params)
+
+    def test_invalid_power(self):
+        with pytest.raises(ValueError, match="power"):
+            make_family("simhash", power=0, d=8)
+
+    def test_validate_returns_dataclass_instance(self):
+        params = validate_family_params("euclidean_lsh", {"d": 8, "w": 2.0})
+        assert params.k == 0  # default filled in
+        assert dataclasses.asdict(params) == {"d": 8, "w": 2.0, "k": 0}
+
+
+class _ToyParams:
+    pass
+
+
+class TestRegisterFamily:
+    def _cleanup(self, name):
+        FAMILY_REGISTRY.pop(name, None)
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_family(
+                "simhash", registry.DimParams, lambda p: None
+            )
+
+    def test_non_dataclass_params_rejected(self):
+        with pytest.raises(TypeError, match="dataclass"):
+            register_family("toy", _ToyParams, lambda p: None)
+
+    def test_register_and_overwrite(self):
+        try:
+            register_family(
+                "toy",
+                registry.DimParams,
+                lambda p: registry.SimHash(p.d),
+                "toy entry",
+            )
+            assert "toy" in family_names()
+            family = make_family("toy", d=4)
+            assert isinstance(family, registry.SimHash)
+            with pytest.raises(ValueError):
+                register_family("toy", registry.DimParams, lambda p: None)
+            register_family(
+                "toy",
+                registry.DimParams,
+                lambda p: registry.BitSampling(p.d),
+                overwrite=True,
+            )
+            assert isinstance(make_family("toy", d=4), registry.BitSampling)
+        finally:
+            self._cleanup("toy")

@@ -1,0 +1,181 @@
+"""API-surface tests: reprs, query dimensionality validation, the
+tuple-compatible ``CandidateResult``, deprecation shims, and the
+``Queryable`` protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import planted_euclidean_range
+from repro.families.bit_sampling import BitSampling
+from repro.families.simhash import SimHash
+from repro.families.step import design_step_family
+from repro.index import (
+    CandidateResult,
+    DSHIndex,
+    HyperplaneIndex,
+    Queryable,
+    QueryStats,
+    RangeReportingIndex,
+    sphere_annulus_index,
+)
+from repro.spaces import hamming, sphere
+
+
+def _euclid(q, pts):
+    return np.linalg.norm(pts - q, axis=1)
+
+
+class TestRepr:
+    def test_dsh_index(self):
+        index = DSHIndex(SimHash(6), n_tables=4, rng=0, backend="packed")
+        assert "unbuilt" in repr(index)
+        index.build(sphere.random_points(25, 6, rng=1))
+        text = repr(index)
+        assert "SimHash" in text
+        assert "L=4" in text
+        assert "backend='packed'" in text
+        assert "n_points=25" in text
+
+    def test_annulus_index(self):
+        pts = sphere.random_points(30, 8, rng=2)
+        index = sphere_annulus_index(
+            pts, (0.3, 0.6), t=1.5, n_tables=5, rng=3, backend="dict"
+        )
+        text = repr(index)
+        assert "AnnulusIndex" in text and "AnnulusFamily" in text
+        assert "L=5" in text and "backend='dict'" in text
+        assert "n_points=30" in text and "interval=(0.3, 0.6)" in text
+
+    def test_hyperplane_index(self):
+        pts = sphere.random_points(30, 8, rng=4)
+        index = HyperplaneIndex(pts, alpha=0.3, t=1.5, n_tables=5, rng=5)
+        text = repr(index)
+        assert "HyperplaneIndex" in text and "alpha=0.3" in text
+        assert "L=5" in text and "n_points=30" in text
+
+    def test_range_reporting_index(self):
+        inst = planted_euclidean_range(40, 8, 4.0, n_near=3, rng=6)
+        design = design_step_family(8, r_flat=4.0, level=0.12, n_components=3)
+        index = RangeReportingIndex(
+            inst.points, design.family, 4.0, _euclid, 5, rng=7
+        )
+        text = repr(index)
+        assert "RangeReportingIndex" in text
+        assert "r_report=4.0" in text and "n_points=40" in text
+
+
+class TestDimensionValidation:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return DSHIndex(BitSampling(16), n_tables=3, rng=0).build(
+            hamming.random_points(50, 16, rng=1)
+        )
+
+    def test_dim_property(self, index):
+        assert index.dim == 16
+        assert DSHIndex(BitSampling(4), n_tables=1).dim is None
+
+    @pytest.mark.parametrize("bad_d", [8, 17])
+    def test_single_query_rejected(self, index, bad_d):
+        with pytest.raises(ValueError, match="dimensionality"):
+            index.query(np.zeros(bad_d, dtype=np.int8))
+
+    def test_batch_query_rejected(self, index):
+        with pytest.raises(ValueError, match="dimensionality"):
+            index.batch_query(np.zeros((4, 8), dtype=np.int8))
+
+    def test_iter_and_hits_rejected(self, index):
+        with pytest.raises(ValueError, match="dimensionality"):
+            next(index.iter_candidates(np.zeros(8, dtype=np.int8)))
+        with pytest.raises(ValueError, match="dimensionality"):
+            index.query_hits(np.zeros(8, dtype=np.int8))
+        with pytest.raises(ValueError, match="dimensionality"):
+            index.batch_query_hits(np.zeros((2, 8), dtype=np.int8))
+
+    def test_3d_queries_rejected(self, index):
+        with pytest.raises(ValueError, match="one point"):
+            index.batch_query(np.zeros((2, 3, 16), dtype=np.int8))
+
+    def test_application_layers_validate(self):
+        pts = sphere.random_points(40, 12, rng=2)
+        annulus = sphere_annulus_index(
+            pts, (0.3, 0.6), t=1.5, n_tables=4, rng=3
+        )
+        with pytest.raises(ValueError, match="dimensionality"):
+            annulus.query(np.zeros(7))
+        with pytest.raises(ValueError, match="dimensionality"):
+            annulus.batch_query(np.zeros((2, 7)))
+        inst = planted_euclidean_range(30, 8, 4.0, n_near=2, rng=4)
+        design = design_step_family(8, r_flat=4.0, level=0.12, n_components=3)
+        reporting = RangeReportingIndex(
+            inst.points, design.family, 4.0, _euclid, 4, rng=5
+        )
+        with pytest.raises(ValueError, match="dimensionality"):
+            reporting.query(np.zeros(5))
+        with pytest.raises(ValueError, match="dimensionality"):
+            reporting.batch_query(np.zeros((2, 5)))
+
+    def test_matching_dim_accepted(self, index):
+        candidates, stats = index.query(np.zeros(16, dtype=np.int8))
+        assert stats.tables_probed == 3
+
+
+class TestCandidateResultCompat:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return DSHIndex(BitSampling(8), n_tables=3, rng=0).build(
+            np.zeros((5, 8), dtype=np.int8)
+        )
+
+    def test_tuple_unpacking_and_equality(self, index):
+        result = index.query(np.zeros(8, dtype=np.int8))
+        candidates, stats = result          # legacy unpacking
+        assert isinstance(result, CandidateResult)
+        assert result == (candidates, stats)  # legacy tuple equality
+        assert result.indices is candidates
+        assert result.stats is stats
+        assert isinstance(stats, QueryStats)
+
+    def test_batch_elements_are_candidate_results(self, index):
+        for result in index.batch_query(np.zeros((2, 8), dtype=np.int8)):
+            assert isinstance(result, CandidateResult)
+            assert result.indices == [0, 1, 2, 3, 4]
+
+
+class TestDeprecationShims:
+    def test_query_candidates_warns_and_matches_query(self):
+        index = DSHIndex(BitSampling(8), n_tables=3, rng=0).build(
+            np.zeros((5, 8), dtype=np.int8)
+        )
+        q = np.zeros(8, dtype=np.int8)
+        with pytest.warns(DeprecationWarning, match="query_candidates"):
+            legacy = index.query_candidates(q)
+        assert legacy == index.query(q)
+        with pytest.warns(DeprecationWarning):
+            truncated = index.query_candidates(q, max_retrieved=2)
+        assert truncated == index.query(q, max_retrieved=2)
+
+
+class TestQueryableProtocol:
+    def test_all_indexes_satisfy_protocol(self):
+        pts = sphere.random_points(30, 8, rng=0)
+        inst = planted_euclidean_range(30, 8, 4.0, n_near=2, rng=1)
+        design = design_step_family(8, r_flat=4.0, level=0.12, n_components=3)
+        indexes = [
+            DSHIndex(SimHash(8), n_tables=2, rng=0).build(pts),
+            sphere_annulus_index(pts, (0.3, 0.6), t=1.5, n_tables=3, rng=1),
+            HyperplaneIndex(pts, alpha=0.3, t=1.5, n_tables=3, rng=2),
+            RangeReportingIndex(
+                inst.points, design.family, 4.0, _euclid, 3, rng=3
+            ),
+        ]
+        for index in indexes:
+            assert isinstance(index, Queryable)
+
+    def test_results_carry_stats(self):
+        pts = sphere.random_points(30, 8, rng=0)
+        annulus = sphere_annulus_index(pts, (0.3, 0.6), t=1.5, n_tables=3, rng=1)
+        result = annulus.query(pts[0])
+        assert result.stats.tables_probed >= 1
+        assert result.retrieved == result.stats.retrieved
+        assert result.unique_candidates == result.stats.unique_candidates

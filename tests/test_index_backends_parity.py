@@ -7,7 +7,7 @@ are *observably identical* — same candidate sets, same candidate order,
 same ``QueryStats`` fields — for every family with an index application
 (bit-sampling, simhash, Euclidean LSH, the sphere annulus family, and
 cross-polytope), across seeds and across the ``max_retrieved`` truncation
-paths, and that ``batch_query`` matches per-query ``query_candidates`` on
+paths, and that ``batch_query`` matches per-query ``query`` on
 both backends.
 """
 
@@ -99,11 +99,11 @@ class TestBackendParity:
         assert dict_index.backend == "dict"
         assert packed_index.backend == "packed"
 
-    def test_query_candidates_identical(self, backend_pair):
+    def test_single_query_identical(self, backend_pair):
         dict_index, packed_index, queries = backend_pair
         for q in queries:
-            d_cands, d_stats = dict_index.query_candidates(q)
-            p_cands, p_stats = packed_index.query_candidates(q)
+            d_cands, d_stats = dict_index.query(q)
+            p_cands, p_stats = packed_index.query(q)
             assert d_cands == p_cands  # set AND first-seen order
             assert d_stats == p_stats  # every QueryStats field
             assert d_stats.duplicates == p_stats.duplicates
@@ -128,7 +128,7 @@ class TestBackendParity:
             packed_results = packed_index.batch_query(queries, max_retrieved=budget)
             for q, (d_res, p_res) in enumerate(zip(dict_results, packed_results)):
                 assert d_res == p_res
-                single_d = dict_index.query_candidates(
+                single_d = dict_index.query(
                     queries[q], max_retrieved=budget
                 )
                 assert single_d == d_res
@@ -163,7 +163,7 @@ class TestBackendParity:
 
 class TestBatchMatchesSingle:
     """Property/regression: ``batch_query`` must agree with per-query
-    ``query_candidates`` on *each* backend (historically two separate code
+    ``query`` on *each* backend (historically two separate code
     paths that could drift)."""
 
     @pytest.mark.parametrize("backend", ["dict", "packed"])
@@ -177,7 +177,7 @@ class TestBatchMatchesSingle:
         ).build(points)
         batched = index.batch_query(queries, max_retrieved=max_retrieved)
         for i in range(queries.shape[0]):
-            single = index.query_candidates(queries[i], max_retrieved=max_retrieved)
+            single = index.query(queries[i], max_retrieved=max_retrieved)
             assert single == batched[i]
 
     @pytest.mark.parametrize("backend", ["dict", "packed"])
@@ -190,7 +190,7 @@ class TestBatchMatchesSingle:
         ).build(points)
         queries = np.zeros((4, 8), dtype=np.int8)
         for (cands, stats), i in zip(index.batch_query(queries), range(4)):
-            single_cands, single_stats = index.query_candidates(queries[i])
+            single_cands, single_stats = index.query(queries[i])
             assert cands == single_cands == list(range(30))
             assert stats == single_stats
             assert stats.retrieved == 30 * 6
@@ -236,7 +236,7 @@ class TestBackendSelection:
         points = np.zeros((20, 8), dtype=np.int8)  # every bucket is full
         index = DSHIndex(family, n_tables=8, rng=0, backend=backend).build(points)
         family.query_hashes = 0
-        _, stats = index.query_candidates(points[0], max_retrieved=1)
+        _, stats = index.query(points[0], max_retrieved=1)
         assert stats.truncated and stats.tables_probed == 1
         assert family.query_hashes == 1  # tables 2..8 never hashed
 
@@ -253,7 +253,7 @@ class TestBackendSelection:
         assert by_class.backend == "packed"
         assert by_instance.backend == "dict"
         q = points[0]
-        assert by_class.query_candidates(q) == by_instance.query_candidates(q)
+        assert by_class.query(q) == by_instance.query(q)
 
     def test_applications_accept_backend(self):
         """The Section 6 applications route the backend choice through."""

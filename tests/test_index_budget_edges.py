@@ -1,0 +1,163 @@
+"""Budget edge cases for the Theorem 6.1 early-termination device.
+
+Covers, on both storage backends: a zero budget (degenerate truncation at
+the first table), a budget landing exactly on a table boundary, exact-hit
+truncation in the batched hits path, and the laziness contract — tables
+past the stopping point must never even be *hashed*.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.family import DSHFamily, HashPair
+from repro.families.bit_sampling import BitSampling
+from repro.index import DSHIndex
+from repro.spaces import hamming
+
+BACKENDS = ["dict", "packed"]
+
+
+class CountingFamily(DSHFamily):
+    """Wraps a family, counting query-side hash evaluations."""
+
+    def __init__(self, base):
+        self.base = base
+        self.query_hashes = 0
+
+    def sample(self, rng=None):
+        inner = self.base.sample(rng)
+        outer = self
+
+        def g(points):
+            outer.query_hashes += 1
+            return inner.g(points)
+
+        return HashPair(h=inner.h, g=g, meta=inner.meta)
+
+
+def _full_bucket_index(n_points, n_tables, backend, d=8, rng=0):
+    """All-identical points: every table has one bucket of size n_points,
+    so retrieval counts per table are exact and predictable."""
+    points = np.zeros((n_points, d), dtype=np.int8)
+    index = DSHIndex(
+        BitSampling(d), n_tables=n_tables, rng=rng, backend=backend
+    ).build(points)
+    return index, points
+
+
+class TestZeroBudget:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_single_query(self, backend):
+        index, points = _full_bucket_index(10, 5, backend)
+        candidates, stats = index.query(points[0], max_retrieved=0)
+        # The reference scan consumes the first table, then notices the
+        # budget is already spent: one table probed, marked truncated.
+        assert stats.truncated
+        assert stats.tables_probed == 1
+        assert stats.retrieved == 10
+        assert candidates == list(range(10))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batch_query(self, backend):
+        index, points = _full_bucket_index(10, 5, backend)
+        for candidates, stats in index.batch_query(points[:3], max_retrieved=0):
+            assert stats.truncated and stats.tables_probed == 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batch_hits_zero_budget(self, backend):
+        index, points = _full_bucket_index(10, 5, backend)
+        block = index.batch_query_hits(points[:3], max_hits=0)
+        assert block.hits.size == 0
+        assert block.truncated.all()
+        np.testing.assert_array_equal(block.offsets, [0, 0, 0, 0])
+
+
+class TestTableBoundaryBudget:
+    """Budgets that land exactly on a table boundary: the scan must stop
+    *at* the boundary table (it is the truncating table), not after one
+    more."""
+
+    N, L = 12, 6
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("k_tables", [1, 2, 5, 6])
+    def test_exact_boundary(self, backend, k_tables):
+        index, points = _full_bucket_index(self.N, self.L, backend)
+        budget = self.N * k_tables  # exactly k full tables
+        _, stats = index.query(points[0], max_retrieved=budget)
+        assert stats.retrieved == budget
+        assert stats.tables_probed == k_tables
+        # Reaching the budget exactly counts as truncation even at the
+        # last table (the scan cannot know no more hits would follow).
+        assert stats.truncated
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_one_past_boundary(self, backend):
+        index, points = _full_bucket_index(self.N, self.L, backend)
+        _, stats = index.query(points[0], max_retrieved=self.N + 1)
+        # One hit beyond a full table forces the whole next table in.
+        assert stats.tables_probed == 2
+        assert stats.retrieved == 2 * self.N
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batch_matches_single_at_boundaries(self, backend):
+        index, points = _full_bucket_index(self.N, self.L, backend)
+        queries = points[:4]
+        for budget in [self.N - 1, self.N, self.N + 1, self.N * self.L,
+                       self.N * self.L + 1]:
+            batched = index.batch_query(queries, max_retrieved=budget)
+            for i in range(queries.shape[0]):
+                assert index.query(queries[i], max_retrieved=budget) == batched[i]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batch_hits_exact_clip(self, backend):
+        """batch_query_hits truncates at *hit* granularity: a budget of
+        one-and-a-half tables yields exactly that many hits."""
+        index, points = _full_bucket_index(self.N, self.L, backend)
+        max_hits = self.N + self.N // 2
+        block = index.batch_query_hits(points[:2], max_hits=max_hits)
+        for i in range(2):
+            assert block.segment(i).size == max_hits
+            assert block.truncated[i]
+            np.testing.assert_array_equal(
+                block.table_counts[i], [self.N, self.N // 2, 0, 0, 0, 0]
+            )
+            assert block.table_of(i, max_hits - 1) == 1
+
+
+class TestHashLaziness:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_truncated_single_query_stops_hashing(self, backend):
+        family = CountingFamily(BitSampling(8))
+        points = np.zeros((20, 8), dtype=np.int8)
+        index = DSHIndex(family, n_tables=8, rng=0, backend=backend).build(points)
+        family.query_hashes = 0
+        _, stats = index.query(points[0], max_retrieved=1)
+        assert stats.truncated and stats.tables_probed == 1
+        assert family.query_hashes == 1  # tables 2..8 never hashed
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_iter_candidates_is_lazy(self, backend):
+        """Consuming a prefix of the candidate stream must hash only the
+        tables actually reached — the annulus search contract."""
+        family = CountingFamily(BitSampling(8))
+        points = np.zeros((20, 8), dtype=np.int8)
+        index = DSHIndex(family, n_tables=8, rng=0, backend=backend).build(points)
+        family.query_hashes = 0
+        stream = index.iter_candidates(points[0])
+        for _ in range(5):  # 5 hits < 20 per table: still inside table 1
+            next(stream)
+        assert family.query_hashes == 1
+        # Draining into table 2 hashes exactly one more table.
+        for _ in range(20):
+            next(stream)
+        assert family.query_hashes == 2
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_untruncated_query_hashes_every_table(self, backend):
+        family = CountingFamily(BitSampling(8))
+        points = hamming.random_points(30, 8, rng=1)
+        index = DSHIndex(family, n_tables=6, rng=0, backend=backend).build(points)
+        family.query_hashes = 0
+        index.query(points[0])
+        assert family.query_hashes == 6

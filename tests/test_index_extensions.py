@@ -18,7 +18,7 @@ class TestBatchQuery:
         queries = hamming.random_points(10, d, rng=2)
         batched = index.batch_query(queries)
         for i in range(10):
-            single, single_stats = index.query_candidates(queries[i])
+            single, single_stats = index.query(queries[i])
             b_cands, b_stats = batched[i]
             assert single == b_cands
             assert single_stats.retrieved == b_stats.retrieved

@@ -15,14 +15,14 @@ class TestBuildAndQuery:
         pts = hamming.random_points(200, 16, rng=0)
         index = DSHIndex(BitSampling(16), n_tables=5, rng=1).build(pts)
         for i in [0, 57, 199]:
-            candidates, stats = index.query_candidates(pts[i])
+            candidates, stats = index.query(pts[i])
             assert i in candidates
             assert stats.tables_probed == 5
 
     def test_unbuilt_index_raises(self):
         index = DSHIndex(BitSampling(8), n_tables=2, rng=0)
         with pytest.raises(RuntimeError, match="build"):
-            index.query_candidates(np.zeros(8, dtype=np.int8))
+            index.query(np.zeros(8, dtype=np.int8))
 
     def test_retrieval_rate_matches_cpf(self):
         """Per-table retrieval probability of a point at distance r is f(r)."""
@@ -30,7 +30,7 @@ class TestBuildAndQuery:
         fam = BitSampling(d)
         x, y = hamming.pairs_at_distance(1, d, r, rng=2)
         index = DSHIndex(fam, n_tables=L, rng=3).build(x)
-        _, stats = index.query_candidates(y[0])
+        _, stats = index.query(y[0])
         rate = stats.retrieved / L
         assert rate == pytest.approx(1 - r / d, abs=0.09)
 
@@ -41,14 +41,14 @@ class TestBuildAndQuery:
         powered_index = DSHIndex(
             PoweredFamily(BitSampling(d), 4), n_tables=L, rng=6
         ).build(x)
-        _, base_stats = base_rate_index.query_candidates(y[0])
-        _, pow_stats = powered_index.query_candidates(y[0])
+        _, base_stats = base_rate_index.query(y[0])
+        _, pow_stats = powered_index.query(y[0])
         assert pow_stats.retrieved < base_stats.retrieved
 
     def test_stats_duplicates(self):
         pts = np.zeros((3, 8), dtype=np.int8)  # identical points
         index = DSHIndex(BitSampling(8), n_tables=4, rng=7).build(pts)
-        candidates, stats = index.query_candidates(pts[0])
+        candidates, stats = index.query(pts[0])
         assert stats.retrieved == 12  # 3 points x 4 tables
         assert stats.unique_candidates == 3
         assert stats.duplicates == 9
@@ -56,7 +56,7 @@ class TestBuildAndQuery:
     def test_max_retrieved_truncates(self):
         pts = np.zeros((50, 8), dtype=np.int8)
         index = DSHIndex(BitSampling(8), n_tables=10, rng=8).build(pts)
-        _, stats = index.query_candidates(pts[0], max_retrieved=60)
+        _, stats = index.query(pts[0], max_retrieved=60)
         assert stats.truncated
         assert stats.tables_probed < 10
 
@@ -72,7 +72,7 @@ class TestBuildAndQuery:
         pts = sphere.random_points(10, 6, rng=10)
         index = DSHIndex(SimHash(6), n_tables=2, rng=11).build(pts)
         with pytest.raises(ValueError, match="single point"):
-            index.query_candidates(pts[:2])
+            index.query(pts[:2])
 
     def test_invalid_table_count(self):
         with pytest.raises(ValueError):

@@ -86,7 +86,7 @@ class TestPoweredAntiBitSamplingIndex:
         rates = []
         for r in [0, 8, 16, 24, 32]:
             y = hamming.flip_bits(x, r, rng=7)
-            _, stats = index.query_candidates(y[0])
+            _, stats = index.query(y[0])
             rates.append(stats.retrieved / L)
         assert rates[0] == 0.0
         assert all(a <= b + 0.05 for a, b in zip(rates, rates[1:]))
