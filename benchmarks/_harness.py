@@ -6,21 +6,89 @@ the paper's figure shows (or the theorem's predicted-vs-measured table) to
 ``benchmarks/results/<name>.txt`` and echoes it to stdout, so
 ``pytest benchmarks/ --benchmark-only -rA`` (or the tee'd log) carries the
 full reproduction record.
+
+Each :func:`report` call additionally writes a machine-readable
+``benchmarks/results/BENCH_<name>.json`` — the human-readable lines plus
+optional structured ``metrics``/``config`` dicts and the current git
+commit — so successive runs across commits form a parseable perf
+trajectory (CI validates the files are well-formed).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import statistics
+import subprocess
+import time
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
 
-def report(name: str, lines: list[str]) -> pathlib.Path:
-    """Write ``lines`` to ``results/<name>.txt`` and print them."""
+def timed(fn):
+    """Run ``fn`` once; return ``(result, wall_seconds)``."""
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def median_time(fn, repeats: int) -> float:
+    """Median wall time of ``repeats`` runs of ``fn`` (result discarded)."""
+    return statistics.median(timed(fn)[1] for _ in range(repeats))
+
+
+def clustered_hamming(prototypes, n, rng, noise=0.005):
+    """Noisy copies of shared cluster prototypes — the workload LSH indexes
+    exist for: a query rendezvouses with its cluster-mates in most tables,
+    so buckets are Zipfian and retrievals duplicate-heavy.  ``noise`` is
+    the per-bit flip probability around each prototype."""
+    rows = prototypes[rng.integers(0, prototypes.shape[0], size=n)]
+    return rows ^ (rng.random(size=rows.shape) < noise).astype("int8")
+
+
+def _git_commit() -> str | None:
+    """Short commit hash of the benchmarked tree, or ``None`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None
+
+
+def report(
+    name: str,
+    lines: list[str],
+    *,
+    metrics: dict | None = None,
+    config: dict | None = None,
+) -> pathlib.Path:
+    """Write ``lines`` to ``results/<name>.txt``, print them, and emit the
+    machine-readable ``results/BENCH_<name>.json`` twin.
+
+    ``metrics`` carries the numbers a trend dashboard would chart (median
+    timings, speedups, throughputs); ``config`` the instance parameters
+    that make them comparable across runs.  Both must be JSON-able.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     text = "\n".join(lines) + "\n"
     path.write_text(text)
+    payload = {
+        "name": name,
+        "commit": _git_commit(),
+        "config": config or {},
+        "metrics": metrics or {},
+        "lines": lines,
+    }
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
     print(f"\n[{name}]")
     print(text)
     return path

@@ -25,7 +25,6 @@ speedup assertions are only enforced at full size).
 """
 
 import os
-import time
 
 import numpy as np
 
@@ -35,7 +34,7 @@ from repro.families.step import design_step_family
 from repro.index import RangeReportingIndex, sphere_annulus_index
 from repro.spaces import sphere
 
-from _harness import fmt_row, report
+from _harness import fmt_row, report, timed
 
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 N_POINTS = 2_000 if SMOKE else 50_000
@@ -50,12 +49,6 @@ ANNULUS_T = 1.8
 
 RANGE_D = 8
 RANGE_RADIUS = 4.0
-
-
-def _timed(fn):
-    start = time.perf_counter()
-    out = fn()
-    return out, time.perf_counter() - start
 
 
 def _assert_annulus_equal(loop_results, batch_results):
@@ -73,8 +66,8 @@ def _annulus_case():
         backend="packed",
     )
     index.batch_query(queries[:8])  # warm-up (hash closures, allocator)
-    loop_results, loop_s = _timed(lambda: [index.query(q) for q in queries])
-    batch_results, batch_s = _timed(lambda: index.batch_query(queries))
+    loop_results, loop_s = timed(lambda: [index.query(q) for q in queries])
+    batch_results, batch_s = timed(lambda: index.batch_query(queries))
     _assert_annulus_equal(loop_results, batch_results)
     found = sum(r.found for r in loop_results)
     return loop_s, batch_s, f"{found}/{N_QUERIES} found"
@@ -106,8 +99,8 @@ def _range_case():
         backend="packed",
     )
     index.batch_query(queries[:8])
-    loop_results, loop_s = _timed(lambda: [index.query(q) for q in queries])
-    batch_results, batch_s = _timed(lambda: index.batch_query(queries))
+    loop_results, loop_s = timed(lambda: [index.query(q) for q in queries])
+    batch_results, batch_s = timed(lambda: index.batch_query(queries))
     assert loop_results == batch_results
     reported = sum(len(r.indices) for r in loop_results)
     return loop_s, batch_s, f"{reported} total reported"
@@ -116,7 +109,7 @@ def _range_case():
 def bench_application_batch_query(benchmark):
     """Time annulus + range-reporting batch_query against single-query
     loops; require >= 3x batched speedup on both at full size."""
-    cases, _total_s = _timed(
+    cases, _total_s = timed(
         lambda: {"annulus": _annulus_case(), "range_reporting": _range_case()}
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
@@ -139,7 +132,24 @@ def bench_application_batch_query(benchmark):
         "batch results were checked element-for-element identical to the "
         "loop before timing (indices, stats, truncation).",
     ]
-    report("app_batch", lines)
+    report(
+        "app_batch",
+        lines,
+        metrics={
+            name: {
+                "loop_s": loop_s,
+                "batch_s": batch_s,
+                "speedup": loop_s / batch_s,
+            }
+            for name, (loop_s, batch_s, _note) in cases.items()
+        },
+        config={
+            "n_points": N_POINTS,
+            "n_queries": N_QUERIES,
+            "n_tables": N_TABLES,
+            "smoke": SMOKE,
+        },
+    )
     # Timing assertions only at full size — smoke instances are small
     # enough that fixed costs and scheduler noise dominate.
     if not SMOKE:

@@ -14,7 +14,6 @@ speedup assertion is only enforced at full size).
 """
 
 import os
-import time
 
 import numpy as np
 
@@ -23,7 +22,7 @@ from repro.families.bit_sampling import BitSampling
 from repro.index.lsh_index import DSHIndex
 from repro.spaces import hamming
 
-from _harness import fmt_row, report
+from _harness import clustered_hamming, fmt_row, report, timed
 
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 N_POINTS = 2_000 if SMOKE else 50_000
@@ -32,30 +31,15 @@ N_TABLES = 8 if SMOKE else 32
 N_CLUSTERS = 40 if SMOKE else 100
 D = 64
 K = 16         # components per table -> buckets ~= clusters
-NOISE = 0.005  # per-bit flip probability around each cluster prototype
 SEED = 2018
 MIN_SPEEDUP = 5.0
-
-
-def _timed(fn):
-    start = time.perf_counter()
-    out = fn()
-    return out, time.perf_counter() - start
-
-
-def _clustered_hamming(prototypes, n, rng):
-    """Noisy copies of shared cluster prototypes — the workload LSH indexes
-    exist for: a query rendezvouses with its cluster-mates in most tables,
-    so buckets are Zipfian and retrievals duplicate-heavy."""
-    rows = prototypes[rng.integers(0, prototypes.shape[0], size=n)]
-    return rows ^ (rng.random(size=rows.shape) < NOISE).astype(np.int8)
 
 
 def _run():
     rng = np.random.default_rng(SEED)
     prototypes = hamming.random_points(N_CLUSTERS, D, rng=rng)
-    points = _clustered_hamming(prototypes, N_POINTS, rng)
-    queries = _clustered_hamming(prototypes, N_QUERIES, rng)
+    points = clustered_hamming(prototypes, N_POINTS, rng)
+    queries = clustered_hamming(prototypes, N_QUERIES, rng)
 
     timings = {}
     results = {}
@@ -66,11 +50,11 @@ def _run():
             rng=SEED + 2,
             backend=backend,
         )
-        _, build_s = _timed(lambda: index.build(points))
+        _, build_s = timed(lambda: index.build(points))
         # Warm-up (hash closures, allocator) then the timed batch.
         index.batch_query(queries[:8])
-        batch, query_s = _timed(lambda: index.batch_query(queries))
-        _, truncated_s = _timed(
+        batch, query_s = timed(lambda: index.batch_query(queries))
+        _, truncated_s = timed(
             lambda: index.batch_query(queries, max_retrieved=8 * N_TABLES)
         )
         timings[backend] = (build_s, query_s, truncated_s)
@@ -108,7 +92,26 @@ def bench_index_backend_throughput(benchmark):
         f"batch query speedup: x{query_speedup:.1f}",
         f"truncated batch speedup: x{d_trunc / p_trunc:.1f}",
     ]
-    report("index_throughput", lines)
+    report(
+        "index_throughput",
+        lines,
+        metrics={
+            "build_speedup": d_build / p_build,
+            "batch_query_speedup": query_speedup,
+            "truncated_batch_speedup": d_trunc / p_trunc,
+            "seconds": {
+                "dict": {"build": d_build, "batch": d_query, "truncated": d_trunc},
+                "packed": {"build": p_build, "batch": p_query, "truncated": p_trunc},
+            },
+        },
+        config={
+            "n_points": N_POINTS,
+            "n_queries": N_QUERIES,
+            "n_tables": N_TABLES,
+            "components": K,
+            "smoke": SMOKE,
+        },
+    )
     # Timing assertions only at full size — smoke instances are small
     # enough that scheduler noise can flip either comparison.
     if not SMOKE:

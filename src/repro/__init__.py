@@ -27,6 +27,10 @@ implements the paper's framework end to end:
                           t=1.7, interval=(0.35, 0.75), n_tables=150, rng=7)
       results = index.batch_query(queries)
 
+* production serving: zero-copy index persistence
+  (:func:`repro.api.save_index` / :func:`repro.api.load_index`, memory-mapped
+  cold starts) and multi-core sharded serving (:mod:`repro.serving`).
+
 Quickstart::
 
     import numpy as np
@@ -43,10 +47,10 @@ Quickstart::
     print(est.p_hat, family.cpf(0.3))
 """
 
-from repro import api, booleancube, bounds, core, data, families, index, privacy, spaces
-from repro.api import IndexSpec, build_index
+from repro import api, booleancube, bounds, core, data, families, index, privacy, serving, spaces
+from repro.api import IndexSpec, build_index, load_index, save_index
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "core",
@@ -58,7 +62,10 @@ __all__ = [
     "privacy",
     "data",
     "api",
+    "serving",
     "IndexSpec",
     "build_index",
+    "save_index",
+    "load_index",
     "__version__",
 ]

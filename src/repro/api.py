@@ -46,6 +46,8 @@ Quickstart::
 from __future__ import annotations
 
 import dataclasses
+import json
+import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -58,10 +60,15 @@ from repro.families.registry import (
     make_family,
     validate_family_params,
 )
-from repro.index.annulus import AnnulusIndex, sphere_peak_placement
+from repro.index.annulus import (
+    AnnulusIndex,
+    sphere_family_for_interval,
+    sphere_peak_placement,
+)
 from repro.index.backends import BACKENDS
 from repro.index.hyperplane import HyperplaneIndex
 from repro.index.lsh_index import DSHIndex
+from repro.index.persistence import FORMAT_VERSION, read_arrays, write_arrays
 from repro.index.range_reporting import RangeReportingIndex
 
 __all__ = [
@@ -69,6 +76,8 @@ __all__ = [
     "IndexSpec",
     "build_index",
     "register_proximity",
+    "save_index",
+    "load_index",
 ]
 
 SPEC_VERSION = 1
@@ -173,6 +182,13 @@ class IndexSpec:
         spec over the same points answer queries identically.  ``None``
         draws fresh entropy (the spec still serializes, but rebuilds are
         not reproducible).
+    shards:
+        Partition the point set into this many contiguous shards, each
+        backed by its own index over identical hash pairs, served by
+        :class:`~repro.serving.sharded.ShardedIndex` (``build`` returns one
+        when ``shards > 1``).  Requires ``kind="raw"`` and a fixed ``seed``
+        (all shards must sample the same pairs for the merged candidate
+        streams to match the unsharded index exactly).
     options:
         Kind-specific options (see module docstring).
     """
@@ -183,6 +199,7 @@ class IndexSpec:
     n_tables: int = 1
     backend: str = "packed"
     seed: int | None = None
+    shards: int = 1
     options: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -194,6 +211,20 @@ class IndexSpec:
             raise ValueError(
                 f"unknown backend {self.backend!r}; available: {sorted(BACKENDS)}"
             )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.shards > 1:
+            if self.kind != "raw":
+                raise ValueError(
+                    f"shards > 1 currently requires kind='raw', got "
+                    f"kind={self.kind!r}"
+                )
+            if self.seed is None:
+                raise ValueError(
+                    "shards > 1 needs a fixed integer seed: every shard "
+                    "must sample identical hash pairs for the merged "
+                    "candidate streams to match the unsharded index"
+                )
         if self.seed is not None and not isinstance(self.seed, (int, np.integer)):
             raise ValueError(
                 f"seed must be an int or None (specs must serialize), "
@@ -255,6 +286,7 @@ class IndexSpec:
             "n_tables": int(self.n_tables),
             "backend": self.backend,
             "seed": None if self.seed is None else int(self.seed),
+            "shards": int(self.shards),
             "options": _plain(options),
         }
 
@@ -270,7 +302,7 @@ class IndexSpec:
             )
         unknown = set(data) - {
             "kind", "family", "family_params", "n_tables", "backend",
-            "seed", "options",
+            "seed", "shards", "options",
         }
         if unknown:
             raise ValueError(f"unknown spec field(s): {sorted(unknown)}")
@@ -284,6 +316,7 @@ class IndexSpec:
             n_tables=data.get("n_tables", 1),
             backend=data.get("backend", "packed"),
             seed=data.get("seed"),
+            shards=data.get("shards", 1),
             options=options,
         )
 
@@ -294,13 +327,20 @@ class IndexSpec:
         power = params.pop("power", 1)
         return make_family(self.family, power=power, **params)
 
-    def build(self, points: np.ndarray):
+    def build(self, points: np.ndarray, workers: int | None = None):
         """Build the index described by this spec over ``points``.
 
         The returned object satisfies
         :class:`~repro.index.queryable.Queryable` and carries this spec as
-        ``index.spec``.
+        ``index.spec``.  ``workers`` threads the per-table build hashing
+        (see :meth:`DSHIndex.build`); with ``shards > 1`` it also sets the
+        shard-build parallelism and the result is a
+        :class:`~repro.serving.sharded.ShardedIndex`.
         """
+        if self.shards > 1:
+            from repro.serving.sharded import ShardedIndex
+
+            return ShardedIndex(points, self, build_workers=workers)
         opts = self.options
         if self.kind == "raw":
             index = DSHIndex(
@@ -308,7 +348,7 @@ class IndexSpec:
                 n_tables=self.n_tables,
                 rng=self.seed,
                 backend=self.backend,
-            ).build(points)
+            ).build(points, workers=workers)
         elif self.kind == "annulus":
             proximity = opts.get("proximity")
             if proximity is None:
@@ -328,6 +368,7 @@ class IndexSpec:
                 budget_factor=opts.get("budget_factor", 8.0),
                 rng=self.seed,
                 backend=self.backend,
+                workers=workers,
             )
         elif self.kind == "hyperplane":
             index = HyperplaneIndex(
@@ -338,6 +379,7 @@ class IndexSpec:
                 budget_factor=opts.get("budget_factor", 8.0),
                 rng=self.seed,
                 backend=self.backend,
+                workers=workers,
             )
         else:  # range_reporting
             index = RangeReportingIndex(
@@ -348,6 +390,7 @@ class IndexSpec:
                 n_tables=self.n_tables,
                 rng=self.seed,
                 backend=self.backend,
+                workers=workers,
             )
         index.spec = self
         return index
@@ -361,6 +404,8 @@ def build_index(
     n_tables: int,
     backend: str = "packed",
     rng: int | None = None,
+    shards: int = 1,
+    workers: int | None = None,
     **params: Any,
 ) -> DSHIndex | AnnulusIndex | HyperplaneIndex | RangeReportingIndex:
     """Build any application index from a kind, a family name, and flat
@@ -445,6 +490,195 @@ def build_index(
         n_tables=n_tables,
         backend=backend,
         seed=None if rng is None else int(rng),
+        shards=shards,
         options=options,
     )
-    return spec.build(points)
+    return spec.build(points, workers=workers)
+
+
+# -- persistence ---------------------------------------------------------
+
+# Array-key prefix separating backend payload from application arrays
+# (points) inside a saved index's .npz.
+_BACKEND_PREFIX = "backend_"
+
+
+def index_paths(path: str | pathlib.Path) -> tuple[pathlib.Path, pathlib.Path]:
+    """Resolve a save/load base path to its ``(.npz, .json)`` pair.  The
+    base may be given with or without either suffix; any other dot in the
+    name (e.g. a ``.shard0`` shard qualifier) is part of the base, so the
+    suffixes are appended, never substituted."""
+    base = pathlib.Path(path)
+    name = base.name
+    for suffix in (".npz", ".json"):
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+            break
+    return base.with_name(name + ".npz"), base.with_name(name + ".json")
+
+
+def _inner_dsh_index(index) -> DSHIndex:
+    """The Theorem 6.1 machine inside any application index."""
+    if isinstance(index, DSHIndex):
+        return index
+    if isinstance(index, HyperplaneIndex):
+        return index._annulus._index
+    if isinstance(index, (AnnulusIndex, RangeReportingIndex)):
+        return index._index
+    raise TypeError(
+        f"cannot persist {type(index).__name__}; expected an index built "
+        "by repro.api (DSHIndex, AnnulusIndex, HyperplaneIndex, "
+        "RangeReportingIndex, or ShardedIndex)"
+    )
+
+
+def save_index(index, path: str | pathlib.Path) -> pathlib.Path:
+    """Persist a built index as ``<path>.npz`` + ``<path>.json``.
+
+    The ``.npz`` holds the storage backend's table arrays (for the packed
+    backend: the CSR ``fingerprints``/``offsets``/``point_ids`` layout,
+    verbatim) plus, for application kinds, the ``points`` array their
+    proximity checks read.  The JSON sidecar carries everything
+    non-array: the :class:`IndexSpec` dict and the sampled-pair RNG state,
+    from which :func:`load_index` revives identical hash pairs.
+
+    Only indexes carrying a spec (built via :func:`build_index` /
+    :meth:`IndexSpec.build`) can be saved — the spec is what makes the
+    family reconstructible.  Returns the sidecar path.
+    """
+    from repro.serving.sharded import ShardedIndex
+
+    if isinstance(index, ShardedIndex):
+        return index.save(path)
+    spec = getattr(index, "spec", None)
+    if spec is None:
+        raise ValueError(
+            "index has no spec; only indexes built through repro.api "
+            "(build_index / IndexSpec.build) can be saved"
+        )
+    inner = _inner_dsh_index(index)
+    arrays = {
+        _BACKEND_PREFIX + key: value
+        for key, value in inner._backend.export_arrays().items()
+    }
+    if spec.kind != "raw":
+        points = (
+            index._annulus.points
+            if isinstance(index, HyperplaneIndex)
+            else index.points
+        )
+        arrays["points"] = points
+    npz_path, json_path = index_paths(path)
+    write_arrays(npz_path, arrays)
+    sidecar = {
+        "format": FORMAT_VERSION,
+        "layout": "single",
+        "spec": spec.to_dict(),
+        "pair_rng_state": inner.pair_rng_state,
+        "n_points": int(inner.n_points),
+        "dim": int(inner.dim),
+    }
+    json_path.write_text(json.dumps(sidecar, indent=2))
+    return json_path
+
+
+def _revive(spec: IndexSpec, sidecar: dict, arrays: dict):
+    """Reconstruct the application object around a loaded backend — the
+    load-time mirror of :meth:`IndexSpec.build`, with zero hashing."""
+    backend = BACKENDS[spec.backend]()
+    backend.import_arrays(
+        {
+            key[len(_BACKEND_PREFIX):]: value
+            for key, value in arrays.items()
+            if key.startswith(_BACKEND_PREFIX)
+        }
+    )
+    n_points = int(sidecar["n_points"])
+    dim = int(sidecar["dim"])
+    state = sidecar["pair_rng_state"]
+    opts = spec.options
+
+    def inner(family):
+        return DSHIndex.from_state(
+            family,
+            spec.n_tables,
+            pair_rng_state=state,
+            backend=backend,
+            n_points=n_points,
+            dim=dim,
+        )
+
+    if spec.kind == "raw":
+        return inner(spec._make_family())
+    points = arrays["points"]
+    if spec.kind == "annulus":
+        proximity = opts.get("proximity")
+        if proximity is None:
+            proximity = "inner_product"
+        return AnnulusIndex._restore(
+            points=points,
+            interval=tuple(opts["interval"]),
+            proximity=_resolve_proximity(proximity),
+            budget_factor=opts.get("budget_factor", 8.0),
+            index=inner(spec._make_family()),
+        )
+    if spec.kind == "hyperplane":
+        alpha = float(opts["alpha"])
+        family = sphere_family_for_interval(dim, (-alpha, alpha), opts["t"])
+        annulus = AnnulusIndex._restore(
+            points=points,
+            interval=(-alpha, alpha),
+            proximity=_resolve_proximity("inner_product"),
+            budget_factor=opts.get("budget_factor", 8.0),
+            index=inner(family),
+        )
+        return HyperplaneIndex._restore(alpha=alpha, annulus=annulus)
+    # range_reporting
+    return RangeReportingIndex._restore(
+        points=points,
+        r_report=float(opts["r_report"]),
+        distance=_resolve_proximity(opts["distance"]),
+        index=inner(spec._make_family()),
+    )
+
+
+def load_index(
+    path: str | pathlib.Path,
+    mmap: bool = True,
+    workers: int | None = None,
+):
+    """Revive a :func:`save_index` index — zero-copy, O(1) in ``n``.
+
+    With ``mmap=True`` (default) the table arrays (and ``points`` for
+    application kinds) are read-only memory maps into the ``.npz``: cold
+    start costs file opens and header parses, not a rebuild's ``O(L n)``
+    hash evaluations, and concurrent serving processes share the pages.
+    The loaded index answers every query byte-identically to the original
+    (same candidates, same order, same stats).
+
+    A sharded save (``ShardedIndex.save`` / a spec with ``shards > 1``)
+    is detected from the sidecar and dispatched to
+    :meth:`~repro.serving.sharded.ShardedIndex.load`; ``workers`` then
+    selects process-pool serving (it is invalid for single indexes).
+    """
+    npz_path, json_path = index_paths(path)
+    sidecar = json.loads(json_path.read_text())
+    version = sidecar.get("format")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported index format {version!r} (this build reads "
+            f"format {FORMAT_VERSION})"
+        )
+    if sidecar.get("layout") == "sharded":
+        from repro.serving.sharded import ShardedIndex
+
+        return ShardedIndex.load(path, workers=workers, mmap=mmap)
+    if workers is not None:
+        raise ValueError(
+            "workers= applies to sharded indexes only; this file holds a "
+            "single index"
+        )
+    spec = IndexSpec.from_dict(sidecar["spec"])
+    index = _revive(spec, sidecar, read_arrays(npz_path, mmap=mmap))
+    index.spec = spec
+    return index

@@ -15,6 +15,10 @@
   (``query`` / ``batch_query`` with stats-carrying results) every
   application index exposes; see :mod:`repro.api` for spec-driven
   construction.
+* :mod:`repro.index.persistence` — zero-copy array persistence: built
+  tables saved as one uncompressed ``.npz`` whose members load back as
+  memory maps (``save_index`` / ``load_index`` in :mod:`repro.api`;
+  sharded multi-core serving in :mod:`repro.serving`).
 """
 
 from repro.index.annulus import AnnulusIndex, AnnulusQueryResult, sphere_annulus_index

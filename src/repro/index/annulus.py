@@ -34,7 +34,12 @@ from repro.index.lsh_index import DSHIndex
 from repro.index.queryable import QueryResult
 from repro.utils.rng import ensure_rng
 
-__all__ = ["AnnulusQueryResult", "AnnulusIndex", "sphere_annulus_index"]
+__all__ = [
+    "AnnulusQueryResult",
+    "AnnulusIndex",
+    "sphere_annulus_index",
+    "sphere_family_for_interval",
+]
 
 
 @dataclass(frozen=True)
@@ -98,6 +103,9 @@ class AnnulusIndex:
     backend:
         Storage backend forwarded to :class:`DSHIndex` (``"packed"`` by
         default; both backends return identical candidate streams).
+    workers:
+        Thread count for the build's per-table hashing (forwarded to
+        :meth:`DSHIndex.build`); ``None`` hashes serially.
     """
 
     def __init__(
@@ -110,6 +118,7 @@ class AnnulusIndex:
         budget_factor: float = 8.0,
         rng: int | np.random.Generator | None = None,
         backend: str | IndexBackend = "packed",
+        workers: int | None = None,
     ):
         lo, hi = interval
         if not lo < hi:
@@ -122,7 +131,29 @@ class AnnulusIndex:
         self.budget = int(np.ceil(budget_factor * n_tables))
         self._index = DSHIndex(
             family, n_tables, ensure_rng(rng), backend=backend
-        ).build(self.points)
+        ).build(self.points, workers=workers)
+
+    @classmethod
+    def _restore(
+        cls,
+        *,
+        points: np.ndarray,
+        interval: tuple[float, float],
+        proximity: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        budget_factor: float,
+        index: DSHIndex,
+    ) -> "AnnulusIndex":
+        """Persistence hook: revive an instance around an already-built
+        (typically memory-mapped) :class:`DSHIndex` — no hashing, no point
+        copies.  ``points`` may be a read-only memmap; every query path
+        only reads it."""
+        self = object.__new__(cls)
+        self.points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self.interval = (float(interval[0]), float(interval[1]))
+        self.proximity = proximity
+        self.budget = int(np.ceil(budget_factor * index.n_tables))
+        self._index = index
+        return self
 
     @property
     def backend(self) -> str:
@@ -311,6 +342,7 @@ def sphere_annulus_index(
     rng: int | np.random.Generator | None = None,
     budget_factor: float = 8.0,
     backend: str | IndexBackend = "packed",
+    workers: int | None = None,
 ) -> AnnulusIndex:
     """Theorem 6.4 instantiation: inner-product annuli on the unit sphere.
 
@@ -330,9 +362,9 @@ def sphere_annulus_index(
     n_tables, rng, budget_factor, backend:
         As in :class:`AnnulusIndex`.
     """
-    alpha_max = sphere_peak_placement(alpha_interval)
-    d = np.atleast_2d(points).shape[1]
-    family = AnnulusFamily(d, alpha_max=alpha_max, t=t)
+    family = sphere_family_for_interval(
+        np.atleast_2d(points).shape[1], alpha_interval, t
+    )
     return AnnulusIndex(
         points,
         family,
@@ -342,6 +374,21 @@ def sphere_annulus_index(
         budget_factor=budget_factor,
         rng=rng,
         backend=backend,
+        workers=workers,
+    )
+
+
+def sphere_family_for_interval(
+    d: int, alpha_interval: tuple[float, float], t: float
+) -> AnnulusFamily:
+    """The Theorem 6.4 family for a reporting interval: peak at the
+    :func:`sphere_peak_placement` midpoint, threshold ``t``.  THE single
+    construction shared by :func:`sphere_annulus_index` (build) and index
+    persistence (revive) — a loaded index must regenerate its hash pairs
+    from *exactly* the family that populated the stored tables, so this
+    mapping is defined once."""
+    return AnnulusFamily(
+        d, alpha_max=sphere_peak_placement(alpha_interval), t=t
     )
 
 

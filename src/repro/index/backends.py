@@ -27,9 +27,10 @@ differentially across families and seeds.
 
 from __future__ import annotations
 
+import pathlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import NamedTuple
+from typing import Mapping, NamedTuple
 
 import numpy as np
 
@@ -142,6 +143,49 @@ class BatchHits:
         )
 
 
+def budget_truncation(
+    counts: np.ndarray, n_tables: int, max_retrieved: int | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """THE Theorem 6.1 early-termination device, vectorized: given a
+    ``(n_queries, L)`` per-table retrieval-count matrix, a query stops
+    after the first table at which its cumulative count reaches
+    ``max_retrieved``.  Returns ``(tables_probed, truncated)``, both
+    ``(n_queries,)``.  Shared by :meth:`PackedBackend.batch_query` and the
+    sharded merge (:mod:`repro.serving.sharded`) so the truncation
+    semantics — which the parity suites hold bit-identical to the
+    reference ``_scan`` — are defined exactly once."""
+    n_queries = counts.shape[0]
+    if max_retrieved is None:
+        return (
+            np.full(n_queries, n_tables, dtype=np.int64),
+            np.zeros(n_queries, dtype=bool),
+        )
+    over = np.cumsum(counts, axis=1) >= max_retrieved
+    truncated = over.any(axis=1)
+    tables_probed = np.where(
+        truncated, np.argmax(over, axis=1) + 1, n_tables
+    )
+    return tables_probed, truncated
+
+
+def first_seen_dedup(
+    segment: np.ndarray, stamp: np.ndarray, positions_all: np.ndarray
+) -> list[int]:
+    """First-seen dedup without sorting: stamp each point id with the
+    position of its first occurrence in ``segment`` (reversed fancy-index
+    write, so the earliest position wins), then keep hits whose own
+    position carries the stamp.  O(len(segment)), and ``stamp`` — a
+    caller-owned scratch array over the id space — needs no reset between
+    calls: only just-stamped entries are ever read.  The companion of
+    :func:`budget_truncation`, shared by the packed backend and the
+    sharded merge."""
+    if not segment.size:
+        return []
+    positions = positions_all[: segment.size]
+    stamp[segment[::-1]] = positions[::-1]
+    return segment[stamp[segment] == positions].tolist()
+
+
 class IndexBackend(ABC):
     """Storage layout behind a :class:`DSHIndex`.
 
@@ -153,14 +197,79 @@ class IndexBackend(ABC):
 
     name: str = "abstract"
 
-    # Set by the owning DSHIndex: a storage object holds exactly one
-    # index's tables, so sharing an instance between indexes would let the
-    # second ``build`` silently clobber the first.
-    _bound: bool = False
+    # A storage object holds exactly one index's tables; attach() flips
+    # this so a second owner cannot silently clobber the first build.
+    _attached: bool = False
+
+    def attach(self) -> "IndexBackend":
+        """Claim this instance for one owning index.
+
+        An :class:`IndexBackend` holds exactly one index's tables, so the
+        owner (``DSHIndex``, or a loader reviving a saved index) must call
+        this exactly once before using the instance; a second ``attach``
+        raises instead of letting a later ``build`` clobber the first
+        owner's data.  Returns ``self`` so construction chains.
+        """
+        if self._attached:
+            raise ValueError(
+                f"{type(self).__name__} instance is already attached to an "
+                "index; pass the backend name or class to get a fresh "
+                "instance"
+            )
+        self._attached = True
+        return self
+
+    @property
+    def attached(self) -> bool:
+        """Whether an index has claimed this instance via :meth:`attach`."""
+        return self._attached
 
     @abstractmethod
     def build(self, tables: list[np.ndarray]) -> None:
         """Ingest the data-side components, one ``(n, c)`` array per table."""
+
+    # -- persistence -----------------------------------------------------
+
+    @abstractmethod
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """Flatten the built tables to named arrays (the persistence
+        payload).  Keys must be valid ``.npz`` member names; the inverse is
+        :meth:`import_arrays`."""
+
+    @abstractmethod
+    def import_arrays(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Restore tables from an :meth:`export_arrays` payload.  Arrays
+        may be read-only memmaps: backends must treat imported storage as
+        immutable, which every query path already does."""
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Persist the built tables as one uncompressed ``.npz`` whose
+        members can be memory-mapped back (see
+        :mod:`repro.index.persistence`)."""
+        from repro.index.persistence import save_backend
+
+        return save_backend(self, path)
+
+    @classmethod
+    def load(
+        cls, path: str | pathlib.Path, mmap: bool = True
+    ) -> "IndexBackend":
+        """Load a :meth:`save` bundle into a fresh, unattached instance.
+
+        With ``mmap=True`` the table arrays are zero-copy views into the
+        file — cold start is O(1) in the number of indexed points.  When
+        called on a concrete subclass, the bundle's recorded backend type
+        must match.
+        """
+        from repro.index.persistence import load_backend
+
+        backend = load_backend(path, mmap=mmap)
+        if cls is not IndexBackend and not isinstance(backend, cls):
+            raise ValueError(
+                f"{path!s} holds a {type(backend).__name__} bundle, not "
+                f"{cls.__name__}"
+            )
+        return backend
 
     @abstractmethod
     def bucket(self, table: int, components: np.ndarray) -> np.ndarray:
@@ -317,6 +426,62 @@ class DictBackend(IndexBackend):
             for i in range(n_queries)
         ]
 
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """Flatten the per-table dicts: concatenated key bytes (fixed width
+        per table), bucket sizes in iteration (= first-insertion) order,
+        and the concatenated bucket id lists.  Iteration order is part of
+        the payload, so a round trip rebuilds *identical* dicts."""
+        key_parts: list[bytes] = []
+        id_parts: list[np.ndarray] = []
+        bucket_counts: list[int] = []
+        table_buckets = np.zeros(len(self._tables), dtype=np.int64)
+        key_widths = np.zeros(len(self._tables), dtype=np.int64)
+        for t, table in enumerate(self._tables):
+            table_buckets[t] = len(table)
+            for key, ids in table.items():
+                key_widths[t] = len(key)
+                key_parts.append(key)
+                bucket_counts.append(len(ids))
+                id_parts.append(np.asarray(ids, dtype=np.int64))
+        key_bytes = (
+            np.frombuffer(b"".join(key_parts), dtype=np.uint8)
+            if key_parts
+            else np.empty(0, dtype=np.uint8)
+        )
+        return {
+            "key_bytes": key_bytes,
+            "key_widths": key_widths,
+            "table_buckets": table_buckets,
+            "bucket_counts": np.asarray(bucket_counts, dtype=np.int64),
+            "ids": (
+                np.concatenate(id_parts)
+                if id_parts
+                else np.empty(0, dtype=np.int64)
+            ),
+        }
+
+    def import_arrays(self, arrays) -> None:
+        key_bytes = np.asarray(arrays["key_bytes"], dtype=np.uint8).tobytes()
+        key_widths = np.asarray(arrays["key_widths"], dtype=np.int64)
+        table_buckets = np.asarray(arrays["table_buckets"], dtype=np.int64)
+        bucket_counts = np.asarray(arrays["bucket_counts"], dtype=np.int64)
+        ids = np.asarray(arrays["ids"], dtype=np.int64)
+        self._tables = []
+        bucket = 0
+        key_pos = 0
+        id_pos = 0
+        for t in range(table_buckets.size):
+            table: dict[bytes, list[int]] = {}
+            width = int(key_widths[t])
+            for _ in range(int(table_buckets[t])):
+                key = key_bytes[key_pos : key_pos + width]
+                key_pos += width
+                count = int(bucket_counts[bucket])
+                bucket += 1
+                table[key] = [int(i) for i in ids[id_pos : id_pos + count]]
+                id_pos += count
+            self._tables.append(table)
+
 
 class PackedBackend(IndexBackend):
     """CSR-style layout over uint64 fingerprints, fully vectorized.
@@ -389,6 +554,53 @@ class PackedBackend(IndexBackend):
             for size in np.diff(offsets)
         ]
 
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """The CSR arrays, verbatim: per-table ``unique``/``offsets``
+        concatenated (sizes recorded so import can re-split), the shared
+        ``ids``/``base`` arrays as-is.  ``ids`` keeps its build-time dtype
+        (int32 when point ids fit), so the file is as small as the live
+        index."""
+        n_tables = len(self._unique)
+        return {
+            "unique": (
+                np.concatenate(self._unique)
+                if n_tables
+                else np.empty(0, dtype=np.uint64)
+            ),
+            "unique_sizes": np.asarray(
+                [u.size for u in self._unique], dtype=np.int64
+            ),
+            "offsets": (
+                np.concatenate(self._offsets)
+                if n_tables
+                else np.empty(0, dtype=np.int64)
+            ),
+            "base": self._base,
+            "ids": self._ids,
+            "n_points": np.asarray([self._n_points], dtype=np.int64),
+        }
+
+    def import_arrays(self, arrays) -> None:
+        """Rebind the CSR arrays from a payload without copying: per-table
+        views are slices of the (possibly memory-mapped) concatenated
+        arrays, so loading is O(L) header work regardless of ``n``."""
+        sizes = np.asarray(arrays["unique_sizes"], dtype=np.int64)
+        unique = arrays["unique"]
+        offsets = arrays["offsets"]
+        self._unique = (
+            list(np.split(unique, np.cumsum(sizes)[:-1]))
+            if sizes.size
+            else []
+        )
+        self._offsets = (
+            list(np.split(offsets, np.cumsum(sizes + 1)[:-1]))
+            if sizes.size
+            else []
+        )
+        self._base = arrays["base"]
+        self._ids = arrays["ids"]
+        self._n_points = int(np.asarray(arrays["n_points"])[0])
+
     def _lookup(
         self, comps: list[np.ndarray]
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -437,18 +649,9 @@ class PackedBackend(IndexBackend):
         starts, counts = self._lookup(comps)
         n_queries = counts.shape[1]
 
-        # Early termination (Theorem 6.1): a query stops after the first
-        # table at which its cumulative retrieval count reaches the budget.
-        cumulative = np.cumsum(counts, axis=0)
-        if max_retrieved is None:
-            tables_probed = np.full(n_queries, n_tables, dtype=np.int64)
-            truncated = np.zeros(n_queries, dtype=bool)
-        else:
-            over = cumulative >= max_retrieved
-            truncated = over.any(axis=0)
-            tables_probed = np.where(
-                truncated, np.argmax(over, axis=0) + 1, n_tables
-            )
+        tables_probed, truncated = budget_truncation(
+            counts.T, n_tables, max_retrieved
+        )
         included = np.arange(n_tables)[:, None] < tables_probed[None, :]
         counts = np.where(included, counts, 0)
         retrieved = counts.sum(axis=0)
@@ -458,11 +661,8 @@ class PackedBackend(IndexBackend):
         hits = self._gather(starts.T.ravel(), counts.T.ravel())
         query_ends = np.cumsum(retrieved)
 
-        # First-seen dedup without sorting: stamp each point id with the
-        # position of its first occurrence in the query's segment (reversed
-        # fancy-index write, so the earliest position wins), then keep hits
-        # whose own position carries the stamp.  O(hits) per query, and no
-        # reset between queries — only just-stamped entries are ever read.
+        # Per-query first-seen dedup via the shared stamp idiom; the
+        # scratch array spans the id space and is reused across queries.
         stamp = np.empty(self._n_points, dtype=self._ids.dtype)
         all_positions = np.arange(
             int(retrieved.max(initial=0)), dtype=self._ids.dtype
@@ -470,12 +670,7 @@ class PackedBackend(IndexBackend):
         results: list[CandidateResult] = []
         for i in range(n_queries):
             segment = hits[query_ends[i] - retrieved[i] : query_ends[i]]
-            if segment.size:
-                positions = all_positions[: segment.size]
-                stamp[segment[::-1]] = positions[::-1]
-                ordered = segment[stamp[segment] == positions].tolist()
-            else:
-                ordered = []
+            ordered = first_seen_dedup(segment, stamp, all_positions)
             results.append(
                 CandidateResult(
                     ordered,

@@ -53,6 +53,9 @@ class HyperplaneIndex:
     backend:
         Storage backend forwarded to the underlying index (``"packed"`` by
         default).
+    workers:
+        Thread count for the build's per-table hashing; ``None`` hashes
+        serially.
     """
 
     def __init__(
@@ -64,6 +67,7 @@ class HyperplaneIndex:
         budget_factor: float = 8.0,
         rng: int | np.random.Generator | None = None,
         backend: str | IndexBackend = "packed",
+        workers: int | None = None,
     ):
         check_in_open_interval(alpha, 0.0, 1.0, "alpha")
         self.alpha = float(alpha)
@@ -75,7 +79,16 @@ class HyperplaneIndex:
             budget_factor=budget_factor,
             rng=rng,
             backend=backend,
+            workers=workers,
         )
+
+    @classmethod
+    def _restore(cls, *, alpha: float, annulus: AnnulusIndex) -> "HyperplaneIndex":
+        """Persistence hook: wrap an already-revived annulus index."""
+        self = object.__new__(cls)
+        self.alpha = float(alpha)
+        self._annulus = annulus
+        return self
 
     @property
     def backend(self) -> str:

@@ -1,0 +1,214 @@
+"""Zero-copy index persistence primitives.
+
+Built indexes are flat array bundles (the packed backend is literally CSR
+arrays), so persistence is array persistence: every saved object is one
+uncompressed ``.npz`` holding named arrays, optionally next to a JSON
+sidecar carrying the non-array state (spec, RNG state — written by
+:func:`repro.api.save_index`, not here).
+
+The point of this module is the *loading* discipline.  ``np.load`` on an
+``.npz`` copies each member into fresh memory on access, so a serving
+process would pay O(index size) on every cold start.  But ``np.savez``
+stores members uncompressed (``ZIP_STORED``): each member is a verbatim
+``.npy`` file at a known offset inside the archive, so we can parse the
+zip's local headers ourselves and hand back :class:`numpy.memmap` views
+directly into the file (:func:`read_arrays`).  Cold start is then O(1) in
+the number of indexed points — file open + header parse — and the OS page
+cache shares the table arrays between every process serving the same index,
+which is what makes multi-worker sharded serving cheap.
+
+Compressed or otherwise non-mappable members fall back to an in-memory
+read, so the function degrades gracefully on foreign archives.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import pathlib
+import tempfile
+import zipfile
+
+import numpy as np
+
+__all__ = [
+    "FORMAT_VERSION",
+    "write_arrays",
+    "read_arrays",
+    "save_backend",
+    "load_backend",
+]
+
+#: On-disk format version for backend/index array bundles.  Bump on any
+#: incompatible change to the array layout or sidecar schema.
+FORMAT_VERSION = 1
+
+# Keys reserved for bundle metadata inside the .npz itself, so a backend
+# payload can be identified without a sidecar.
+_META_BACKEND = "__backend__"
+_META_FORMAT = "__format__"
+
+_ZIP_LOCAL_HEADER_SIZE = 30
+_NPY_MAGIC = b"\x93NUMPY"
+
+
+def write_arrays(path: str | pathlib.Path, arrays: dict[str, np.ndarray]) -> pathlib.Path:
+    """Write ``arrays`` as one *uncompressed* ``.npz`` (mmap-able members).
+
+    ``np.savez`` (not ``savez_compressed``) on purpose: compression would
+    make members unmappable and turn every cold start into a full decode.
+    A missing ``.npz`` suffix is appended (``np.savez`` would do so
+    silently; normalizing first keeps the returned path the real file).
+
+    The write goes to a temporary file in the same directory and is
+    ``os.replace``d over the target: crash-safe, and — critically — safe
+    when some of ``arrays`` are memmap views into the target file itself
+    (re-saving a loaded index): the views keep reading the old inode
+    instead of a truncated file.
+    """
+    path = pathlib.Path(path)
+    if path.name[-4:] != ".npz":
+        path = path.with_name(path.name + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp.npz"
+    )
+    os.close(fd)
+    try:
+        np.savez(tmp_name, **arrays)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def _mmap_member(
+    path: pathlib.Path, f, data_start: int
+) -> np.ndarray | None:
+    """Map the ``.npy`` member starting at byte ``data_start`` of ``path``.
+
+    Returns ``None`` if the member is not a parseable v1/v2/v3 ``.npy``
+    (caller falls back to an eager read).  Zero-size arrays are returned
+    eagerly: ``np.memmap`` rejects empty maps.
+    """
+    f.seek(data_start)
+    if f.read(6) != _NPY_MAGIC:
+        return None
+    major = f.read(1)[0]
+    f.read(1)  # minor version
+    header_len_size = 2 if major == 1 else 4
+    header_len = int.from_bytes(f.read(header_len_size), "little")
+    try:
+        header = ast.literal_eval(
+            f.read(header_len).decode("latin1").strip()
+        )
+        dtype = np.dtype(header["descr"])
+        shape = tuple(header["shape"])
+        order = "F" if header.get("fortran_order") else "C"
+    except (ValueError, KeyError, SyntaxError):
+        return None
+    if dtype.hasobject:
+        return None
+    data_offset = data_start + 6 + 2 + header_len_size + header_len
+    if int(np.prod(shape)) == 0:
+        return np.empty(shape, dtype=dtype)
+    return np.memmap(
+        path, dtype=dtype, mode="r", offset=data_offset, shape=shape,
+        order=order,
+    )
+
+
+def read_arrays(
+    path: str | pathlib.Path, mmap: bool = True
+) -> dict[str, np.ndarray]:
+    """Read a :func:`write_arrays` bundle.
+
+    With ``mmap=True`` (the default) each uncompressed member comes back as
+    a read-only :class:`numpy.memmap` view into the archive — no bytes are
+    copied until a page is actually touched.  ``mmap=False`` forces eager
+    in-memory copies (useful when the file will be deleted or rewritten
+    while the arrays are still alive).
+    """
+    path = pathlib.Path(path)
+    if not mmap:
+        with np.load(path) as bundle:
+            return {name: bundle[name] for name in bundle.files}
+    out: dict[str, np.ndarray] = {}
+    eager: list[str] = []
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as f:
+        for info in archive.infolist():
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[: -len(".npy")]
+            array = None
+            if info.compress_type == zipfile.ZIP_STORED:
+                f.seek(info.header_offset)
+                local = f.read(_ZIP_LOCAL_HEADER_SIZE)
+                if local[:4] == b"PK\x03\x04":
+                    name_len = int.from_bytes(local[26:28], "little")
+                    extra_len = int.from_bytes(local[28:30], "little")
+                    data_start = (
+                        info.header_offset
+                        + _ZIP_LOCAL_HEADER_SIZE
+                        + name_len
+                        + extra_len
+                    )
+                    array = _mmap_member(path, f, data_start)
+            if array is None:
+                eager.append(info.filename)
+            else:
+                out[name] = array
+    if eager:
+        with np.load(path) as bundle:
+            for filename in eager:
+                name = filename[: -len(".npy")] if filename.endswith(".npy") else filename
+                out[name] = bundle[name]
+    return out
+
+
+def save_backend(backend, path: str | pathlib.Path) -> pathlib.Path:
+    """Persist a built :class:`~repro.index.backends.IndexBackend` to one
+    self-describing ``.npz`` (backend name + format version travel inside
+    the archive)."""
+    arrays = dict(backend.export_arrays())
+    for reserved in (_META_BACKEND, _META_FORMAT):
+        if reserved in arrays:
+            raise ValueError(
+                f"backend export uses reserved key {reserved!r}"
+            )
+    arrays[_META_BACKEND] = np.array(backend.name)
+    arrays[_META_FORMAT] = np.array([FORMAT_VERSION], dtype=np.int64)
+    return write_arrays(path, arrays)
+
+
+def load_backend(path: str | pathlib.Path, mmap: bool = True):
+    """Load a :func:`save_backend` bundle back into a fresh, unattached
+    backend instance of the recorded type."""
+    from repro.index.backends import BACKENDS
+
+    arrays = read_arrays(path, mmap=mmap)
+    try:
+        name = str(arrays.pop(_META_BACKEND)[()])
+        version = int(arrays.pop(_META_FORMAT)[0])
+    except KeyError:
+        raise ValueError(
+            f"{path!s} is not a backend bundle (missing metadata keys)"
+        ) from None
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported backend bundle format {version} (this build "
+            f"reads format {FORMAT_VERSION})"
+        )
+    try:
+        backend = BACKENDS[name]()
+    except KeyError:
+        raise ValueError(
+            f"bundle was written by unknown backend {name!r}; "
+            f"available: {sorted(BACKENDS)}"
+        ) from None
+    backend.import_arrays(arrays)
+    return backend

@@ -97,6 +97,9 @@ class RangeReportingIndex:
     backend:
         Storage backend forwarded to :class:`DSHIndex` (``"packed"`` by
         default).
+    workers:
+        Thread count for the build's per-table hashing (forwarded to
+        :meth:`DSHIndex.build`); ``None`` hashes serially.
     """
 
     def __init__(
@@ -108,6 +111,7 @@ class RangeReportingIndex:
         n_tables: int,
         rng: int | np.random.Generator | None = None,
         backend: str | IndexBackend = "packed",
+        workers: int | None = None,
     ):
         if r_report <= 0:
             raise ValueError(f"r_report must be positive, got {r_report}")
@@ -116,7 +120,26 @@ class RangeReportingIndex:
         self.distance = distance
         self._index = DSHIndex(
             family, n_tables, ensure_rng(rng), backend=backend
-        ).build(self.points)
+        ).build(self.points, workers=workers)
+
+    @classmethod
+    def _restore(
+        cls,
+        *,
+        points: np.ndarray,
+        r_report: float,
+        distance: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        index: DSHIndex,
+    ) -> "RangeReportingIndex":
+        """Persistence hook: revive an instance around an already-built
+        (typically memory-mapped) :class:`DSHIndex` — no hashing, no point
+        copies."""
+        self = object.__new__(cls)
+        self.points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self.r_report = float(r_report)
+        self.distance = distance
+        self._index = index
+        return self
 
     @property
     def backend(self) -> str:

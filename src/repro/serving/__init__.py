@@ -1,0 +1,15 @@
+"""Serving-layer machinery on top of the index layer.
+
+* :mod:`repro.serving.sharded` — :class:`~repro.serving.sharded.ShardedIndex`:
+  contiguous data-partition sharding of the Theorem 6.1 index with exact
+  candidate-stream merging, persisted shard files, and process-pool
+  fan-out for multi-core batched serving.
+
+Persistence itself (save/load, zero-copy mmap cold starts) lives one layer
+down: :func:`repro.api.save_index` / :func:`repro.api.load_index` and
+:mod:`repro.index.persistence`.
+"""
+
+from repro.serving.sharded import ShardedIndex, shard_bounds
+
+__all__ = ["ShardedIndex", "shard_bounds"]

@@ -1,0 +1,415 @@
+"""Multi-core sharded serving of the Theorem 6.1 index.
+
+The index is embarrassingly parallel across data partitions: each of the
+``L`` tables is an independent repetition, so splitting the point set into
+``S`` contiguous shards yields ``S`` independent indexes whose buckets
+partition the unsharded index's buckets.  Because every shard samples the
+*same* ``L`` hash pairs (same spec seed), the merged candidate stream —
+table by table, shards in ascending-offset order — is element-for-element
+identical to the unsharded stream: within a bucket, insertion order is
+increasing point index, and contiguous shards keep global indices
+increasing across the shard concatenation.  :class:`ShardedIndex` performs
+that merge exactly, including the Theorem 6.1 early-termination budget
+(applied to the *merged* per-table counts) and first-seen dedup order, so
+sharded and unsharded indexes are observably identical
+(``tests/test_sharded_parity.py`` enforces this differentially).
+
+Two serving modes share the merge:
+
+* **in-process** — shards are live ``DSHIndex`` objects; queries are
+  hashed once (all shards share the pairs) and each shard's packed arrays
+  are probed serially.  This is the correctness/reference mode.
+* **process pool** — after :meth:`ShardedIndex.save`, ``load(path,
+  workers=W)`` starts a persistent ``ProcessPoolExecutor``; each
+  ``batch_query`` ships only the query block to the workers, and every
+  worker memory-maps the shard files it touches on first use (cached
+  thereafter).  No table data is ever pickled, and the OS page cache
+  shares the mapped arrays across workers — batched throughput scales
+  with cores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.index.backends import (
+    BatchHits,
+    CandidateResult,
+    QueryStats,
+    budget_truncation,
+    first_seen_dedup,
+)
+from repro.index.lsh_index import DSHIndex
+from repro.index.persistence import FORMAT_VERSION
+
+__all__ = ["ShardedIndex", "shard_bounds"]
+
+
+def shard_bounds(n_points: int, shards: int) -> np.ndarray:
+    """Contiguous shard boundaries: ``shards + 1`` offsets with shard
+    sizes differing by at most one (``np.array_split`` convention), every
+    shard non-empty."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if n_points < shards:
+        raise ValueError(
+            f"cannot split {n_points} points into {shards} non-empty shards"
+        )
+    base, extra = divmod(int(n_points), int(shards))
+    sizes = np.full(shards, base, dtype=np.int64)
+    sizes[:extra] += 1
+    return np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(sizes)])
+
+
+# Per-process cache of memory-mapped shard indexes, keyed by path: a pool
+# worker loads each shard it is handed exactly once (O(1) file opens, no
+# table bytes over the pipe) and reuses it for every later request.
+_SHARD_CACHE: dict[str, DSHIndex] = {}
+
+
+def _pool_batch_hits(
+    shard_path: str, queries: np.ndarray, mmap: bool
+) -> BatchHits:
+    """Pool worker: resolve one shard's hit streams for a query block."""
+    from repro.api import load_index
+
+    index = _SHARD_CACHE.get(shard_path)
+    if index is None:
+        index = load_index(shard_path, mmap=mmap)
+        _SHARD_CACHE[shard_path] = index
+    return index.batch_query_hits(queries)
+
+
+def _merge_blocks(
+    blocks: list[BatchHits],
+    bounds: np.ndarray,
+    n_tables: int,
+    n_points: int,
+    max_retrieved: int | None,
+) -> list[CandidateResult]:
+    """Merge per-shard hit streams into globally-correct candidate results.
+
+    Reconstructs the unsharded probe order — table-major, shards in
+    ascending offset order within a table — then applies the same
+    :func:`~repro.index.backends.budget_truncation` /
+    :func:`~repro.index.backends.first_seen_dedup` devices the packed
+    backend uses, on the *merged* per-table counts.  Stats are the sums of
+    the per-shard retrieval work, which equal the unsharded index's stats
+    exactly.
+    """
+    counts = np.stack([b.table_counts for b in blocks])  # (S, nq, L)
+    total = counts.sum(axis=0)  # (nq, L)
+    n_queries = total.shape[0]
+    probed, truncated = budget_truncation(total, n_tables, max_retrieved)
+
+    # Where each (query, table) segment starts inside every shard's flat
+    # hit array, and the shard-local ids lifted to global ids.
+    seg_starts = []
+    global_hits = []
+    for s, block in enumerate(blocks):
+        table_cum = np.cumsum(block.table_counts, axis=1)
+        seg_starts.append(
+            np.asarray(block.offsets)[:-1, None]
+            + table_cum
+            - block.table_counts
+        )
+        global_hits.append(
+            np.asarray(block.hits, dtype=np.int64) + int(bounds[s])
+        )
+
+    stamp = np.empty(max(n_points, 1), dtype=np.int64)
+    positions_all = np.arange(
+        int(total.sum(axis=1).max(initial=0)), dtype=np.int64
+    )
+    empty = np.empty(0, dtype=np.int64)
+    results: list[CandidateResult] = []
+    for i in range(n_queries):
+        parts = []
+        for t in range(int(probed[i])):
+            for s in range(len(blocks)):
+                count = int(counts[s, i, t])
+                if count:
+                    lo = int(seg_starts[s][i, t])
+                    parts.append(global_hits[s][lo : lo + count])
+        segment = np.concatenate(parts) if parts else empty
+        ordered = first_seen_dedup(segment, stamp, positions_all)
+        results.append(
+            CandidateResult(
+                ordered,
+                QueryStats(
+                    retrieved=int(total[i, : probed[i]].sum()),
+                    unique_candidates=len(ordered),
+                    tables_probed=int(probed[i]),
+                    truncated=bool(truncated[i]),
+                ),
+            )
+        )
+    return results
+
+
+class ShardedIndex:
+    """``S`` contiguous shards of one raw-kind :class:`IndexSpec`, served
+    as a single :class:`~repro.index.queryable.Queryable`.
+
+    Build via a spec with ``shards > 1`` (``spec.build(points)`` /
+    :func:`repro.api.build_index` return one automatically) — the spec's
+    fixed seed guarantees every shard samples identical hash pairs, which
+    is what makes the merge exact.  ``save``/``load`` round the shards
+    through per-shard zero-copy files; ``load(path, workers=W)`` switches
+    to process-pool serving.
+
+    Parameters
+    ----------
+    points:
+        Data set, shape ``(n, d)``; shard ``s`` owns the contiguous row
+        range ``bounds[s]:bounds[s + 1]``.
+    spec:
+        A validated :class:`~repro.api.IndexSpec` with ``kind="raw"``,
+        ``shards >= 1``, and a fixed seed.
+    build_workers:
+        Threads for building shards concurrently (hash kernels are
+        NumPy-bound); ``None`` builds serially.
+    """
+
+    def __init__(self, points: np.ndarray, spec, *, build_workers: int | None = None):
+        if spec.kind != "raw":
+            raise ValueError(
+                f"ShardedIndex requires kind='raw', got {spec.kind!r}"
+            )
+        if spec.seed is None:
+            raise ValueError(
+                "ShardedIndex needs a spec with a fixed seed so every "
+                "shard samples identical hash pairs"
+            )
+        points = np.atleast_2d(np.asarray(points))
+        self.spec = spec
+        self._bounds = shard_bounds(points.shape[0], spec.shards)
+        self._dim = int(points.shape[1])
+        shard_spec = dataclasses.replace(spec, shards=1)
+
+        def build_one(s: int) -> DSHIndex:
+            return shard_spec.build(
+                points[self._bounds[s] : self._bounds[s + 1]]
+            )
+
+        if build_workers is not None and build_workers > 1:
+            with ThreadPoolExecutor(max_workers=build_workers) as pool:
+                self._shards = list(pool.map(build_one, range(spec.shards)))
+        else:
+            self._shards = [build_one(s) for s in range(spec.shards)]
+        self._paths: list[str] | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._mmap = True
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        """Total number of indexed points across shards."""
+        return int(self._bounds[-1])
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed point set."""
+        return self._dim
+
+    @property
+    def n_tables(self) -> int:
+        """Repetition count ``L`` (identical in every shard)."""
+        return self.spec.n_tables
+
+    @property
+    def n_shards(self) -> int:
+        """Number of data shards."""
+        return self._bounds.size - 1
+
+    @property
+    def backend(self) -> str:
+        """Name of the per-shard storage backend."""
+        return self.spec.backend
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """Copy of the ``(S + 1,)`` contiguous shard boundary offsets."""
+        return self._bounds.copy()
+
+    def __repr__(self) -> str:
+        mode = (
+            f"pool={self._pool._max_workers}"
+            if self._pool is not None
+            else "in-process"
+        )
+        return (
+            f"{type(self).__name__}(shards={self.n_shards}, "
+            f"L={self.n_tables}, backend={self.backend!r}, "
+            f"n_points={self.n_points}, d={self._dim}, {mode})"
+        )
+
+    # -- querying --------------------------------------------------------
+
+    def _check_queries(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries))
+        if queries.ndim != 2:
+            raise ValueError(
+                f"queries must be one point (d,) or a block (n, d), "
+                f"got shape {queries.shape}"
+            )
+        if queries.shape[1] != self._dim:
+            raise ValueError(
+                f"query dimensionality {queries.shape[1]} does not match "
+                f"the indexed point set (d={self._dim})"
+            )
+        return queries
+
+    def _shard_blocks(self, queries: np.ndarray) -> list[BatchHits]:
+        if self._shards is None and self._pool is None:
+            raise ValueError(
+                "this ShardedIndex has been closed; load it again to serve"
+            )
+        if self._pool is not None:
+            futures = [
+                self._pool.submit(_pool_batch_hits, path, queries, self._mmap)
+                for path in self._paths
+            ]
+            return [future.result() for future in futures]
+        # All shards share the hash pairs, so hash the query block once
+        # and probe each shard's backend directly.
+        comps = [
+            pair.hash_query(queries) for pair in self._shards[0]._pairs
+        ]
+        return [
+            shard._backend.batch_query_hits(comps) for shard in self._shards
+        ]
+
+    def batch_query(
+        self, queries: np.ndarray, max_retrieved: int | None = None
+    ) -> list[CandidateResult]:
+        """Candidate retrieval for a query block, fanned out across shards
+        and merged exactly (global ids, first-seen dedup order, summed
+        stats) — element-for-element identical to the unsharded index."""
+        queries = self._check_queries(queries)
+        blocks = self._shard_blocks(queries)
+        return _merge_blocks(
+            blocks, self._bounds, self.n_tables, self.n_points, max_retrieved
+        )
+
+    def query(
+        self, query: np.ndarray, max_retrieved: int | None = None
+    ) -> CandidateResult:
+        """Single-query spelling of :meth:`batch_query`."""
+        queries = self._check_queries(query)
+        if queries.shape[0] != 1:
+            raise ValueError(
+                f"query must be a single point, got {queries.shape[0]}"
+            )
+        return self.batch_query(queries, max_retrieved)[0]
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Persist as ``<path>.json`` (manifest) + one zero-copy file pair
+        per shard (``<path>.shard<i>.npz/.json``).  Returns the manifest
+        path."""
+        from repro.api import index_paths, save_index
+
+        if self._shards is None:
+            raise ValueError(
+                "this ShardedIndex serves already-saved shard files; "
+                "copy those instead of re-saving"
+            )
+        _, json_path = index_paths(path)
+        base = json_path.with_suffix("")
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        shard_names = []
+        for s, shard in enumerate(self._shards):
+            name = f"{base.name}.shard{s}"
+            save_index(shard, base.with_name(name))
+            shard_names.append(name)
+        manifest = {
+            "format": FORMAT_VERSION,
+            "layout": "sharded",
+            "spec": self.spec.to_dict(),
+            "bounds": [int(b) for b in self._bounds],
+            "dim": self._dim,
+            "shards": shard_names,
+        }
+        json_path.write_text(json.dumps(manifest, indent=2))
+        return json_path
+
+    @classmethod
+    def load(
+        cls,
+        path: str | pathlib.Path,
+        *,
+        workers: int | None = None,
+        mmap: bool = True,
+    ) -> "ShardedIndex":
+        """Revive a :meth:`save` layout.
+
+        ``workers=None`` loads every shard in-process (memory-mapped when
+        ``mmap=True``).  ``workers=W`` starts a persistent ``W``-process
+        pool instead and defers shard opening to the workers — the parent
+        never touches table data, so cold start is the manifest read plus
+        pool spawn.
+        """
+        from repro.api import IndexSpec, index_paths, load_index
+
+        _, json_path = index_paths(path)
+        manifest = json.loads(json_path.read_text())
+        if manifest.get("layout") != "sharded":
+            raise ValueError(f"{json_path!s} is not a sharded index manifest")
+        if manifest.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index format {manifest.get('format')!r} "
+                f"(this build reads format {FORMAT_VERSION})"
+            )
+        self = object.__new__(cls)
+        self.spec = IndexSpec.from_dict(manifest["spec"])
+        self._bounds = np.asarray(manifest["bounds"], dtype=np.int64)
+        self._dim = int(manifest["dim"])
+        self._paths = [
+            str(json_path.parent / name) for name in manifest["shards"]
+        ]
+        self._mmap = mmap
+        # Fail now, not inside a pool worker's first query: a partial
+        # deploy that missed a shard file should be caught at load time
+        # with a clearly-attributed error.
+        missing = [
+            str(part)
+            for shard in self._paths
+            for part in index_paths(shard)
+            if not part.exists()
+        ]
+        if missing:
+            raise FileNotFoundError(
+                f"manifest {json_path} names missing shard file(s): "
+                f"{missing}"
+            )
+        if workers is None:
+            self._shards = [load_index(p, mmap=mmap) for p in self._paths]
+            self._pool = None
+        else:
+            if workers < 1:
+                raise ValueError(f"workers must be >= 1, got {workers}")
+            self._shards = None
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+        return self
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for in-process serving)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -8,9 +8,11 @@ sampling many hash functions stays reproducible without sharing state.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_rngs"]
+__all__ = ["ensure_rng", "spawn_rngs", "rng_state", "rng_from_state"]
 
 
 def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
@@ -50,3 +52,32 @@ def spawn_rngs(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
         raise ValueError(f"n must be non-negative, got {n}")
     seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """Snapshot ``rng``'s bit-generator state as a plain JSON-able dict.
+
+    The snapshot is a deep copy, so advancing ``rng`` afterwards does not
+    mutate it.  Feeding the snapshot to :func:`rng_from_state` yields a
+    generator that reproduces ``rng``'s stream from this exact point —
+    the mechanism index persistence uses to regenerate identical hash
+    pairs without requiring an integer seed.
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def rng_from_state(state: dict) -> np.random.Generator:
+    """Reconstruct a generator from a :func:`rng_state` snapshot."""
+    name = state.get("bit_generator")
+    bit_generator_cls = getattr(np.random, str(name), None)
+    if bit_generator_cls is None or not (
+        isinstance(bit_generator_cls, type)
+        and issubclass(bit_generator_cls, np.random.BitGenerator)
+    ):
+        raise ValueError(
+            f"state names unknown bit generator {name!r}; expected the "
+            "output of rng_state()"
+        )
+    bit_generator = bit_generator_cls()
+    bit_generator.state = copy.deepcopy(state)
+    return np.random.Generator(bit_generator)
