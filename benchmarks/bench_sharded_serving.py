@@ -8,19 +8,28 @@ points, L = 16 tables by default):
   (``O(L n)`` hash evaluations).  Asserted ≥ 10× at full size.
 * **batched query throughput** — a saved 4-shard index served by a
   process pool with 4 workers vs 1 worker (identical machinery, so the
-  ratio isolates multi-core scaling).  Asserted ≥ 2× at full size *when
-  the host actually has ≥ 4 usable cores* — the assertion is meaningless
-  on smaller machines and is skipped with a note instead.
+  ratio isolates multi-core scaling).  Asserted ≥ 2.5× at full size
+  *when the host actually has ≥ 4 usable cores* — the assertion is
+  meaningless on smaller machines and is skipped with a note instead.
+* **result transport** — bytes crossing the executor pipe per pooled
+  ``batch_query`` (shared-memory hit transport + worker-side budget
+  clipping) vs the pickled-stream baseline: every shard's full unclipped
+  ``BatchHits`` pickled back to the parent, which is exactly what the
+  pre-shared-memory implementation shipped.  Asserted ≥ 5× smaller at
+  full size (byte accounting, so no core-count gate).
 * **threaded build** — ``DSHIndex.build(workers=)`` per-table hashing
   speedup (reported, not asserted: thread scaling depends on BLAS/NumPy
   release behaviour per family).
 
-Every pool-served result is checked identical to the unsharded in-memory
-index before any timing is trusted.  Set ``BENCH_SMOKE=1`` to shrink the
-instance for CI smoke runs (assertions are only enforced at full size).
+Every pool-served result — including a budgeted run that exercises the
+worker-side ``max_retrieved`` clip — is checked identical to the unsharded
+in-memory index before any timing is trusted.  Set ``BENCH_SMOKE=1`` to
+shrink the instance for CI smoke runs (assertions are only enforced at
+full size).
 """
 
 import os
+import pickle
 import tempfile
 
 import numpy as np
@@ -39,9 +48,11 @@ D = 64
 K = 16
 SEED = 2018
 SHARDS = 4
+BUDGET = 16 * N_TABLES  # exercises the worker-side table-granularity clip
 QUERY_REPEATS = 3 if SMOKE else 5
 MIN_COLD_START_SPEEDUP = 10.0
-MIN_POOL_SCALING = 2.0
+MIN_POOL_SCALING = 2.5
+MIN_TRANSPORT_REDUCTION = 5.0
 
 
 def _usable_cores() -> int:
@@ -63,6 +74,31 @@ def _spec(shards=1):
     )
 
 
+def _pickled_stream_bytes(sharded_path, queries) -> int:
+    """The pre-shared-memory transport baseline: every shard's full,
+    unclipped ``BatchHits`` pickled through the executor pipe."""
+    served = load_index(sharded_path)  # in-process: same streams as workers
+    return sum(
+        len(pickle.dumps(block, protocol=pickle.HIGHEST_PROTOCOL))
+        for block in served._shard_blocks(queries)
+    )
+
+
+def _assert_pool_parity(served, queries, reference, reference_budget, label):
+    results = served.batch_query(queries)
+    assert [r.indices for r in results] == [
+        r.indices for r in reference
+    ] and [r.stats for r in results] == [
+        r.stats for r in reference
+    ], f"pool results diverged at {label}"
+    budgeted = served.batch_query(queries, max_retrieved=BUDGET)
+    assert [r.indices for r in budgeted] == [
+        r.indices for r in reference_budget
+    ] and [r.stats for r in budgeted] == [
+        r.stats for r in reference_budget
+    ], f"worker-clipped pool results diverged at {label}"
+
+
 def _run():
     rng = np.random.default_rng(SEED)
     prototypes = hamming.random_points(N_CLUSTERS, D, rng=rng)
@@ -78,6 +114,7 @@ def _run():
     out["build_threads_s"] = build_threads_s
 
     reference = flat.batch_query(queries)
+    reference_budget = flat.batch_query(queries, max_retrieved=BUDGET)
 
     with tempfile.TemporaryDirectory() as tmp:
         # Cold start: load (mmap) vs rebuild from spec.
@@ -96,30 +133,43 @@ def _run():
         sharded_path = os.path.join(tmp, "sharded")
         sharded = _spec(shards=SHARDS).build(points, workers=2)
         save_index(sharded, sharded_path)
+        out["pickled_stream_bytes"] = _pickled_stream_bytes(
+            sharded_path, queries
+        )
         for workers in (1, 4):
             with load_index(sharded_path, workers=workers) as served:
-                results = served.batch_query(queries)  # warm worker caches
-                assert [r.indices for r in results] == [
-                    r.indices for r in reference
-                ] and [r.stats for r in results] == [
-                    r.stats for r in reference
-                ], f"pool results diverged at workers={workers}"
+                # Warm worker caches and verify both the plain and the
+                # worker-clipped paths before timing anything.
+                _assert_pool_parity(
+                    served, queries, reference, reference_budget,
+                    f"workers={workers}",
+                )
                 out[f"pool{workers}_s"] = median_time(
                     lambda: served.batch_query(queries), QUERY_REPEATS
                 )
+                if workers == SHARDS:
+                    served.batch_query(queries)
+                    out["transport"] = dict(served.last_transport)
+                    served.batch_query(queries, max_retrieved=BUDGET)
+                    out["transport_budgeted"] = dict(served.last_transport)
     return out
 
 
 def bench_sharded_serving(benchmark):
     """Time the persistence + sharded-serving sweep; require >= 10x cold
-    start vs rebuild, and >= 2x batched throughput at 4 pool workers vs 1
-    (full size, >= 4 usable cores)."""
+    start vs rebuild, >= 2.5x batched throughput at 4 pool workers vs 1
+    (full size, >= 4 usable cores), and >= 5x fewer bytes over the
+    executor pipe than the pickled-stream baseline (full size)."""
     timings = benchmark.pedantic(_run, rounds=1, iterations=1)
     cores = _usable_cores()
     cold_speedup = timings["rebuild_s"] / timings["load_s"]
     build_speedup = timings["build_serial_s"] / timings["build_threads_s"]
     pool_scaling = timings["pool1_s"] / timings["pool4_s"]
     qps = {w: N_QUERIES / timings[f"pool{w}_s"] for w in (1, 4)}
+    transport = timings["transport"]
+    transport_budgeted = timings["transport_budgeted"]
+    baseline_bytes = timings["pickled_stream_bytes"]
+    transport_reduction = baseline_bytes / max(transport["pipe_bytes"], 1)
     lines = [
         "Sharded serving: zero-copy cold start + process-pool batched "
         f"queries (n={N_POINTS} clustered points, L={N_TABLES}, "
@@ -137,6 +187,14 @@ def bench_sharded_serving(benchmark):
         f"threaded build speedup: x{build_speedup:.2f}",
         f"pool throughput: {qps[1]:.0f} q/s @1 worker, "
         f"{qps[4]:.0f} q/s @4 workers (x{pool_scaling:.2f})",
+        f"transport: {baseline_bytes} B pickled-stream baseline -> "
+        f"{transport['pipe_bytes']} B over the pipe "
+        f"(x{transport_reduction:.1f} smaller; "
+        f"{transport['shm_bytes']} B via shared memory, "
+        f"{transport['tasks']} tasks / {transport['chunks']} chunks)",
+        f"worker-clipped (max_retrieved={BUDGET}): "
+        f"{transport_budgeted['pipe_bytes']} B pipe + "
+        f"{transport_budgeted['shm_bytes']} B shm",
     ]
     report(
         "sharded_serving",
@@ -146,6 +204,16 @@ def bench_sharded_serving(benchmark):
             "threaded_build_speedup": build_speedup,
             "pool_scaling_4v1": pool_scaling,
             "queries_per_s": {"workers_1": qps[1], "workers_4": qps[4]},
+            "transport": {
+                "pickled_stream_bytes": baseline_bytes,
+                "pipe_bytes": transport["pipe_bytes"],
+                "shm_bytes": transport["shm_bytes"],
+                "reduction_x": transport_reduction,
+                "tasks": transport["tasks"],
+                "chunks": transport["chunks"],
+                "budgeted_pipe_bytes": transport_budgeted["pipe_bytes"],
+                "budgeted_shm_bytes": transport_budgeted["shm_bytes"],
+            },
             "median_s": {
                 key: timings[key]
                 for key in (
@@ -160,16 +228,24 @@ def bench_sharded_serving(benchmark):
             "n_tables": N_TABLES,
             "components": K,
             "shards": SHARDS,
+            "budget": BUDGET,
             "smoke": SMOKE,
             "usable_cores": cores,
         },
     )
     # Timing assertions only at full size — smoke instances are small
-    # enough that process startup and scheduler noise dominate.
+    # enough that process startup and scheduler noise dominate.  The
+    # transport assertion is byte accounting, deterministic at full size
+    # regardless of cores.
     if not SMOKE:
         assert cold_speedup >= MIN_COLD_START_SPEEDUP, (
             f"mmap cold start only x{cold_speedup:.1f} faster than rebuild "
             f"(required x{MIN_COLD_START_SPEEDUP})"
+        )
+        assert transport_reduction >= MIN_TRANSPORT_REDUCTION, (
+            f"shared-memory transport only x{transport_reduction:.1f} fewer "
+            f"bytes over the pipe than the pickled-stream baseline "
+            f"(required x{MIN_TRANSPORT_REDUCTION})"
         )
         if cores >= 4:
             assert pool_scaling >= MIN_POOL_SCALING, (
@@ -179,6 +255,6 @@ def bench_sharded_serving(benchmark):
         else:
             print(
                 f"[sharded_serving] NOTE: only {cores} usable core(s); "
-                "skipping the >=2x 4-worker scaling assertion "
-                "(needs >= 4 cores to be meaningful)"
+                f"skipping the >=x{MIN_POOL_SCALING} 4-worker scaling "
+                "assertion (needs >= 4 cores to be meaningful)"
             )

@@ -511,7 +511,7 @@ def index_paths(path: str | pathlib.Path) -> tuple[pathlib.Path, pathlib.Path]:
     base = pathlib.Path(path)
     name = base.name
     for suffix in (".npz", ".json"):
-        if name.endswith(suffix):
+        if name.lower().endswith(suffix):
             name = name[: -len(suffix)]
             break
     return base.with_name(name + ".npz"), base.with_name(name + ".json")
@@ -659,7 +659,14 @@ def load_index(
     A sharded save (``ShardedIndex.save`` / a spec with ``shards > 1``)
     is detected from the sidecar and dispatched to
     :meth:`~repro.serving.sharded.ShardedIndex.load`; ``workers`` then
-    selects process-pool serving (it is invalid for single indexes).
+    selects process-pool serving (it is invalid for single indexes) —
+    query blocks are chunked across ``(shard, chunk)`` tasks, workers
+    apply the exactness-preserving ``max_retrieved`` clip shard-locally,
+    and large hit payloads return through ``multiprocessing``
+    shared-memory segments rather than the executor pipe (see
+    :mod:`repro.serving.sharded`).  Pool workers cache each shard by
+    ``(path, mtime_ns, size)``, so re-saving a shard file in place is
+    picked up on the next request.
     """
     npz_path, json_path = index_paths(path)
     sidecar = json.loads(json_path.read_text())

@@ -29,6 +29,7 @@ from repro.index.backends import (
     DictBackend,
     IndexBackend,
     PackedBackend,
+    clip_batch_hits,
     make_backend,
 )
 from repro.index.hyperplane import HyperplaneIndex
@@ -48,6 +49,7 @@ __all__ = [
     "PackedBackend",
     "BACKENDS",
     "make_backend",
+    "clip_batch_hits",
     "AnnulusIndex",
     "AnnulusQueryResult",
     "sphere_annulus_index",

@@ -44,6 +44,7 @@ __all__ = [
     "DictBackend",
     "PackedBackend",
     "make_backend",
+    "clip_batch_hits",
     "BACKENDS",
 ]
 
@@ -118,16 +119,38 @@ class BatchHits:
         lazily-consuming caller cannot know whether more would have come,
         so reaching the cap *is* the truncation signal, matching the
         streaming single-query semantics).
+    full_table_counts:
+        ``None`` when the stream is unclipped (``table_counts`` already
+        *are* the full counts).  When a producer clipped the stream
+        (``max_hits`` here, or the worker-side ``max_retrieved`` clip in
+        :func:`clip_batch_hits`), this carries the **pre-clip** per-table
+        retrieval counts for every table, so a downstream merge can apply
+        table-granularity budget semantics on the counts the unclipped
+        stream *would* have had — the contract that lets sharded pool
+        workers ship clipped hits while the merged
+        :func:`budget_truncation` stays bit-identical to the unsharded
+        index.
     """
 
     hits: np.ndarray
     offsets: np.ndarray
     table_counts: np.ndarray
     truncated: np.ndarray
+    full_table_counts: np.ndarray | None = None
 
     @property
     def n_queries(self) -> int:
         return self.offsets.size - 1
+
+    @property
+    def pre_clip_table_counts(self) -> np.ndarray:
+        """The full (pre-clip) per-table counts: ``full_table_counts`` when
+        a clip recorded them, else ``table_counts`` (nothing was clipped)."""
+        return (
+            self.table_counts
+            if self.full_table_counts is None
+            else self.full_table_counts
+        )
 
     def segment(self, i: int) -> np.ndarray:
         """Query ``i``'s hits in probe order (duplicates preserved)."""
@@ -184,6 +207,62 @@ def first_seen_dedup(
     positions = positions_all[: segment.size]
     stamp[segment[::-1]] = positions[::-1]
     return segment[stamp[segment] == positions].tolist()
+
+
+def clip_batch_hits(
+    block: BatchHits, n_tables: int, max_retrieved: int | None
+) -> BatchHits:
+    """Apply the Theorem 6.1 table-granularity ``max_retrieved`` budget to
+    an *unclipped* :class:`BatchHits` stream, keeping the pre-clip counts.
+
+    The exactness-preserving device behind worker-side clipping in sharded
+    serving: a query's merged scan stops after the first table where the
+    *merged* cumulative count reaches the budget, and since every shard's
+    own cumulative counts are bounded by the merged ones, the merged
+    stopping table can never lie beyond the shard-local one.  Clipping each
+    shard's stream at its own :func:`budget_truncation` table therefore
+    discards only hits the merge could never use, while the recorded
+    ``full_table_counts`` let the merge compute the exact merged stopping
+    table and stats.  Within a query's segment hits are table-major, so the
+    kept hits are a per-query prefix.
+
+    ``block`` must be unclipped (``full_table_counts is None``); returns it
+    unchanged when ``max_retrieved`` is ``None``.
+    """
+    if max_retrieved is None:
+        return block
+    if block.full_table_counts is not None:
+        raise ValueError(
+            "clip_batch_hits needs an unclipped stream; this block already "
+            "carries full_table_counts"
+        )
+    full = np.asarray(block.table_counts, dtype=np.int64)
+    tables_probed, truncated = budget_truncation(
+        full, n_tables, max_retrieved
+    )
+    included = np.arange(n_tables)[None, :] < tables_probed[:, None]
+    clipped = np.where(included, full, 0)
+    keep = clipped.sum(axis=1)
+    offsets = np.zeros(keep.size + 1, dtype=np.int64)
+    np.cumsum(keep, out=offsets[1:])
+    total = int(offsets[-1])
+    if total == block.hits.size:
+        hits = block.hits
+    else:
+        ends = offsets[1:]
+        gather = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(ends - keep, keep)
+            + np.repeat(np.asarray(block.offsets[:-1], dtype=np.int64), keep)
+        )
+        hits = np.asarray(block.hits)[gather]
+    return BatchHits(
+        hits=hits,
+        offsets=offsets,
+        table_counts=clipped,
+        truncated=truncated,
+        full_table_counts=full,
+    )
 
 
 class IndexBackend(ABC):
@@ -274,7 +353,9 @@ class IndexBackend(ABC):
     @abstractmethod
     def bucket(self, table: int, components: np.ndarray) -> np.ndarray:
         """Point indices in ``table`` under one query's component row
-        (shape ``(1, c)``), in insertion (= increasing point index) order."""
+        (shape ``(1, c)``), in insertion (= increasing point index) order,
+        always as an **int64** array — backends that store narrowed ids
+        internally must widen here so callers never see dtype drift."""
 
     @abstractmethod
     def bucket_sizes(self) -> list[int]:
@@ -350,22 +431,29 @@ class IndexBackend(ABC):
 
         This reference implementation walks buckets per query in Python;
         :class:`PackedBackend` overrides it with one batched
-        ``searchsorted`` + gather.
+        ``searchsorted`` + gather.  Under ``max_hits`` the pre-clip
+        per-table counts are recorded in ``full_table_counts`` (every
+        bucket is still *counted*, only the gather stops at the cap).
         """
         n_tables = len(comps)
         n_queries = comps[0].shape[0] if n_tables else 0
         table_counts = np.zeros((n_queries, n_tables), dtype=np.int64)
+        full_counts = (
+            None
+            if max_hits is None
+            else np.zeros((n_queries, n_tables), dtype=np.int64)
+        )
         truncated = np.zeros(n_queries, dtype=bool)
         parts: list[np.ndarray] = []
         lengths = np.zeros(n_queries, dtype=np.int64)
         for i in range(n_queries):
             gathered = 0
             for t in range(n_tables):
-                if max_hits is not None and gathered >= max_hits:
-                    break
                 bucket = np.asarray(
                     self.bucket(t, comps[t][i : i + 1]), dtype=np.int64
                 )
+                if full_counts is not None:
+                    full_counts[i, t] = bucket.size
                 if max_hits is not None and gathered + bucket.size > max_hits:
                     bucket = bucket[: max_hits - gathered]
                 table_counts[i, t] = bucket.size
@@ -384,6 +472,7 @@ class IndexBackend(ABC):
             offsets=offsets,
             table_counts=table_counts,
             truncated=truncated,
+            full_table_counts=full_counts,
         )
 
 
@@ -545,7 +634,9 @@ class PackedBackend(IndexBackend):
         offsets = self._offsets[table]
         lo = self._base[table] + offsets[pos]
         hi = self._base[table] + offsets[pos + 1]
-        return self._ids[lo:hi]
+        # _ids may be narrowed to int32; the bucket() contract is int64, so
+        # widen here rather than leak a build-dependent dtype to callers.
+        return np.asarray(self._ids[lo:hi], dtype=np.int64)
 
     def bucket_sizes(self) -> list[int]:
         return [
@@ -696,7 +787,9 @@ class PackedBackend(IndexBackend):
         if max_hits is None:
             allowed = counts
             truncated = np.zeros(n_queries, dtype=bool)
+            full_counts = None
         else:
+            full_counts = counts.T.copy()
             # Hits remaining in each query's budget when table t begins:
             # clip each bucket to it, cutting the stream mid-bucket at
             # exactly max_hits hits.
@@ -714,6 +807,7 @@ class PackedBackend(IndexBackend):
             offsets=offsets,
             table_counts=allowed.T.copy(),
             truncated=truncated,
+            full_table_counts=full_counts,
         )
 
 

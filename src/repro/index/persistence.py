@@ -57,8 +57,11 @@ def write_arrays(path: str | pathlib.Path, arrays: dict[str, np.ndarray]) -> pat
 
     ``np.savez`` (not ``savez_compressed``) on purpose: compression would
     make members unmappable and turn every cold start into a full decode.
-    A missing ``.npz`` suffix is appended (``np.savez`` would do so
-    silently; normalizing first keeps the returned path the real file).
+    A missing ``.npz`` suffix is appended — compared case-insensitively
+    via ``path.suffix``, so ``INDEX.NPZ`` is respected and names shorter
+    than the suffix are handled (the write itself goes through a
+    ``.npz``-suffixed temp file, so ``np.savez`` never silently renames
+    and the returned path is always the real file).
 
     The write goes to a temporary file in the same directory and is
     ``os.replace``d over the target: crash-safe, and — critically — safe
@@ -67,7 +70,7 @@ def write_arrays(path: str | pathlib.Path, arrays: dict[str, np.ndarray]) -> pat
     instead of a truncated file.
     """
     path = pathlib.Path(path)
-    if path.name[-4:] != ".npz":
+    if path.suffix.lower() != ".npz":
         path = path.with_name(path.name + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(

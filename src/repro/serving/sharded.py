@@ -21,19 +21,42 @@ Two serving modes share the merge:
   are probed serially.  This is the correctness/reference mode.
 * **process pool** — after :meth:`ShardedIndex.save`, ``load(path,
   workers=W)`` starts a persistent ``ProcessPoolExecutor``; each
-  ``batch_query`` ships only the query block to the workers, and every
-  worker memory-maps the shard files it touches on first use (cached
-  thereafter).  No table data is ever pickled, and the OS page cache
-  shares the mapped arrays across workers — batched throughput scales
-  with cores.
+  ``batch_query`` chunks the query block across ``(shard, chunk)`` tasks
+  so every worker stays busy, and every worker memory-maps the shard
+  files it touches on first use (cached by ``(path, mtime_ns, size)``, so
+  a shard file hot-swapped in place is picked up on the next request).
+  No table data is ever pickled, and the OS page cache shares the mapped
+  arrays across workers.
+
+Pool results travel back through two devices that keep the executor pipe
+nearly empty:
+
+* **worker-side budget clipping** — each worker applies the
+  exactness-preserving table-granularity ``max_retrieved`` clip
+  (:func:`~repro.index.backends.clip_batch_hits`) before returning, so
+  only hits the merge can actually use are shipped; the pre-clip
+  ``full_table_counts`` ride along and the merged
+  :func:`~repro.index.backends.budget_truncation` runs on the *full*
+  merged counts, keeping results bit-identical to the unsharded index.
+* **shared-memory transport** — hit arrays at or above
+  :data:`SHM_MIN_BYTES` are written to ``multiprocessing.shared_memory``
+  blocks and only a small descriptor is pickled through the pipe (small
+  results fall back to plain pickling, which is cheaper than a segment
+  round trip).  The parent takes ownership of each segment (attach +
+  unlink) before merging, so segments never outlive the request even if
+  the merge raises.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import pathlib
+import pickle
+import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
@@ -42,12 +65,23 @@ from repro.index.backends import (
     CandidateResult,
     QueryStats,
     budget_truncation,
+    clip_batch_hits,
     first_seen_dedup,
 )
 from repro.index.lsh_index import DSHIndex
 from repro.index.persistence import FORMAT_VERSION
 
-__all__ = ["ShardedIndex", "shard_bounds"]
+__all__ = ["ShardedIndex", "shard_bounds", "SHM_MIN_BYTES"]
+
+#: Hit payloads at or above this many bytes return from pool workers via a
+#: shared-memory segment; smaller ones are pickled through the executor
+#: pipe directly (a segment create/attach/unlink round trip costs more
+#: than pickling a few KB).
+SHM_MIN_BYTES = 32_768
+
+#: Smallest query-chunk a pool ``batch_query`` will split off — below this
+#: the per-task overhead (submit, hash, descriptor) dominates.
+MIN_CHUNK_QUERIES = 16
 
 
 def shard_bounds(n_points: int, shards: int) -> np.ndarray:
@@ -66,23 +100,172 @@ def shard_bounds(n_points: int, shards: int) -> np.ndarray:
     return np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(sizes)])
 
 
-# Per-process cache of memory-mapped shard indexes, keyed by path: a pool
-# worker loads each shard it is handed exactly once (O(1) file opens, no
-# table bytes over the pipe) and reuses it for every later request.
-_SHARD_CACHE: dict[str, DSHIndex] = {}
+# Per-process cache of memory-mapped shard indexes, keyed by path and
+# validated against the shard file's (mtime_ns, size) on every request: a
+# pool worker loads each shard it is handed once (O(1) file opens, no
+# table bytes over the pipe), reuses it while the file is unchanged, and
+# transparently reloads when the file is re-saved in place (hot swap) —
+# a long-lived pool never answers from a stale mmap.
+_SHARD_CACHE: dict[str, tuple[tuple[int, int], DSHIndex]] = {}
+
+
+def _shard_signature(shard_path: str) -> tuple[int, int]:
+    """Freshness signature of a shard's array bundle on disk."""
+    from repro.api import index_paths
+
+    npz_path, _ = index_paths(shard_path)
+    stat = os.stat(npz_path)
+    return (stat.st_mtime_ns, stat.st_size)
+
+
+def _cached_shard(shard_path: str, mmap: bool) -> DSHIndex:
+    from repro.api import load_index
+
+    signature = _shard_signature(shard_path)
+    cached = _SHARD_CACHE.get(shard_path)
+    if cached is not None and cached[0] == signature:
+        return cached[1]
+    index = load_index(shard_path, mmap=mmap)
+    _SHARD_CACHE[shard_path] = (signature, index)
+    return index
+
+
+@dataclasses.dataclass(frozen=True)
+class _ShmBlock:
+    """Picklable descriptor of a :class:`BatchHits` whose ``hits`` array
+    lives in a shared-memory segment: what actually crosses the executor
+    pipe instead of the hit bytes."""
+
+    shm_name: str
+    dtype: str
+    size: int
+    offsets: np.ndarray
+    table_counts: np.ndarray
+    full_table_counts: np.ndarray | None
+    truncated: np.ndarray
+
+
+def _ship_block(block: BatchHits, shm_min_bytes: int | None):
+    """Worker-side transport encoding: shared memory for large hit arrays,
+    the block itself (plain pickle) below the threshold (and always for
+    empty streams — a zero-byte segment cannot be created)."""
+    if (
+        shm_min_bytes is None
+        or block.hits.nbytes < shm_min_bytes
+        or block.hits.nbytes == 0
+    ):
+        return block
+    segment = shared_memory.SharedMemory(create=True, size=block.hits.nbytes)
+    try:
+        # The parent attaches and unlinks this segment; unregister it from
+        # this worker's resource tracker so worker shutdown neither warns
+        # about nor double-unlinks a segment it no longer owns.
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+    view = np.frombuffer(
+        segment.buf, dtype=block.hits.dtype, count=block.hits.size
+    )
+    view[:] = block.hits
+    del view
+    name = segment.name
+    segment.close()
+    return _ShmBlock(
+        shm_name=name,
+        dtype=block.hits.dtype.str,
+        size=int(block.hits.size),
+        offsets=block.offsets,
+        table_counts=block.table_counts,
+        full_table_counts=block.full_table_counts,
+        truncated=block.truncated,
+    )
+
+
+def _resolve_block(raw):
+    """Parent-side transport decoding: returns ``(block, release)`` where
+    ``release`` (or ``None`` for pickled blocks) must be called after every
+    view of ``block.hits`` is dropped.  The segment is unlinked immediately
+    on attach — the parent owns it from here, and the memory is freed when
+    the last mapping closes even if the process dies mid-merge."""
+    if isinstance(raw, BatchHits):
+        return raw, None
+    segment = shared_memory.SharedMemory(name=raw.shm_name)
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+    hits = np.frombuffer(
+        segment.buf, dtype=np.dtype(raw.dtype), count=raw.size
+    )
+    block = BatchHits(
+        hits=hits,
+        offsets=raw.offsets,
+        table_counts=raw.table_counts,
+        truncated=raw.truncated,
+        full_table_counts=raw.full_table_counts,
+    )
+
+    def release():
+        try:
+            segment.close()
+        except BufferError:  # a stray view still alive; freed at exit
+            pass
+
+    return block, release
 
 
 def _pool_batch_hits(
-    shard_path: str, queries: np.ndarray, mmap: bool
-) -> BatchHits:
-    """Pool worker: resolve one shard's hit streams for a query block."""
-    from repro.api import load_index
+    shard_path: str,
+    queries: np.ndarray,
+    mmap: bool,
+    max_retrieved: int | None = None,
+    shm_min_bytes: int | None = SHM_MIN_BYTES,
+):
+    """Pool worker: resolve one shard's hit streams for a query chunk,
+    budget-clip them shard-locally, and encode them for transport."""
+    index = _cached_shard(shard_path, mmap)
+    block = clip_batch_hits(
+        index.batch_query_hits(queries), index.n_tables, max_retrieved
+    )
+    return _ship_block(block, shm_min_bytes)
 
-    index = _SHARD_CACHE.get(shard_path)
-    if index is None:
-        index = load_index(shard_path, mmap=mmap)
-        _SHARD_CACHE[shard_path] = index
-    return index.batch_query_hits(queries)
+
+def _concat_blocks(blocks: list[BatchHits]) -> BatchHits:
+    """Stitch one shard's per-chunk blocks back into a single query-order
+    block (chunks arrive in ascending query order)."""
+    if len(blocks) == 1:
+        return blocks[0]
+    per_query = np.concatenate(
+        [np.diff(np.asarray(b.offsets, dtype=np.int64)) for b in blocks]
+    )
+    offsets = np.zeros(per_query.size + 1, dtype=np.int64)
+    np.cumsum(per_query, out=offsets[1:])
+    full: np.ndarray | None = None
+    if any(b.full_table_counts is not None for b in blocks):
+        full = np.vstack([b.pre_clip_table_counts for b in blocks])
+    return BatchHits(
+        hits=np.concatenate([np.asarray(b.hits) for b in blocks]),
+        offsets=offsets,
+        table_counts=np.vstack([b.table_counts for b in blocks]),
+        truncated=np.concatenate([b.truncated for b in blocks]),
+        full_table_counts=full,
+    )
+
+
+def _chunk_bounds(n_queries: int, n_shards: int, workers: int) -> np.ndarray:
+    """Split a query block so the pool sees roughly two tasks per worker
+    (tasks = chunks x shards), never below :data:`MIN_CHUNK_QUERIES`
+    queries per chunk — one-future-per-shard leaves cores idle whenever
+    ``workers > shards``."""
+    target = max(1, -(-2 * workers // max(n_shards, 1)))
+    chunks = min(target, max(1, n_queries // MIN_CHUNK_QUERIES))
+    return shard_bounds(n_queries, chunks)
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """GC-time fallback for a leaked pool (see ``weakref.finalize`` in
+    :meth:`ShardedIndex.load`): must not block the collector."""
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _merge_blocks(
@@ -98,12 +281,19 @@ def _merge_blocks(
     ascending offset order within a table — then applies the same
     :func:`~repro.index.backends.budget_truncation` /
     :func:`~repro.index.backends.first_seen_dedup` devices the packed
-    backend uses, on the *merged* per-table counts.  Stats are the sums of
-    the per-shard retrieval work, which equal the unsharded index's stats
-    exactly.
+    backend uses.  The budget runs on the **pre-clip** per-table counts
+    (``full_table_counts`` for worker-clipped blocks, ``table_counts``
+    otherwise), so worker-side clipping never changes the merged stopping
+    table, retrieval stats, or candidate stream: clipped blocks only omit
+    hits past their shard-local stopping table, which is never before the
+    merged one.  Stats are the sums of the per-shard retrieval work, which
+    equal the unsharded index's stats exactly.
     """
-    counts = np.stack([b.table_counts for b in blocks])  # (S, nq, L)
-    total = counts.sum(axis=0)  # (nq, L)
+    # Post-clip counts locate hits inside each shard's (possibly clipped)
+    # flat array; pre-clip counts drive the budget and the stats.
+    clipped = np.stack([b.table_counts for b in blocks])  # (S, nq, L)
+    full = np.stack([b.pre_clip_table_counts for b in blocks])
+    total = full.sum(axis=0)  # (nq, L)
     n_queries = total.shape[0]
     probed, truncated = budget_truncation(total, n_tables, max_retrieved)
 
@@ -132,7 +322,7 @@ def _merge_blocks(
         parts = []
         for t in range(int(probed[i])):
             for s in range(len(blocks)):
-                count = int(counts[s, i, t])
+                count = int(clipped[s, i, t])
                 if count:
                     lo = int(seg_starts[s][i, t])
                     parts.append(global_hits[s][lo : lo + count])
@@ -161,7 +351,8 @@ class ShardedIndex:
     fixed seed guarantees every shard samples identical hash pairs, which
     is what makes the merge exact.  ``save``/``load`` round the shards
     through per-shard zero-copy files; ``load(path, workers=W)`` switches
-    to process-pool serving.
+    to process-pool serving (shared-memory result transport, worker-side
+    budget clipping, query-block chunking — see the module docstring).
 
     Parameters
     ----------
@@ -205,6 +396,14 @@ class ShardedIndex:
         self._paths: list[str] | None = None
         self._pool: ProcessPoolExecutor | None = None
         self._mmap = True
+        self._workers: int | None = None
+        self._finalizer: weakref.finalize | None = None
+        self._shm_min_bytes: int | None = SHM_MIN_BYTES
+        #: Transport accounting for the most recent pool ``batch_query``:
+        #: ``pipe_bytes`` (pickled bytes through the executor pipe),
+        #: ``shm_bytes`` (hit bytes moved via shared memory), ``tasks``
+        #: and ``chunks`` submitted.  ``None`` before any pool query.
+        self.last_transport: dict[str, int] | None = None
 
     # -- introspection ---------------------------------------------------
 
@@ -239,11 +438,12 @@ class ShardedIndex:
         return self._bounds.copy()
 
     def __repr__(self) -> str:
-        mode = (
-            f"pool={self._pool._max_workers}"
-            if self._pool is not None
-            else "in-process"
-        )
+        if self._pool is not None:
+            mode = f"pool={self._workers}"
+        elif self._shards is not None:
+            mode = "in-process"
+        else:
+            mode = "closed"
         return (
             f"{type(self).__name__}(shards={self.n_shards}, "
             f"L={self.n_tables}, backend={self.backend!r}, "
@@ -267,24 +467,67 @@ class ShardedIndex:
         return queries
 
     def _shard_blocks(self, queries: np.ndarray) -> list[BatchHits]:
-        if self._shards is None and self._pool is None:
-            raise ValueError(
-                "this ShardedIndex has been closed; load it again to serve"
-            )
-        if self._pool is not None:
-            futures = [
-                self._pool.submit(_pool_batch_hits, path, queries, self._mmap)
-                for path in self._paths
-            ]
-            return [future.result() for future in futures]
-        # All shards share the hash pairs, so hash the query block once
-        # and probe each shard's backend directly.
+        """In-process per-shard hit streams (unclipped): all shards share
+        the hash pairs, so hash the query block once and probe each
+        shard's backend directly."""
         comps = [
             pair.hash_query(queries) for pair in self._shards[0]._pairs
         ]
         return [
             shard._backend.batch_query_hits(comps) for shard in self._shards
         ]
+
+    def _pool_blocks(
+        self, queries: np.ndarray, max_retrieved: int | None
+    ) -> tuple[list[BatchHits], list]:
+        """Fan ``(shard, query-chunk)`` tasks over the worker pool and
+        reassemble one block per shard; also records transport stats."""
+        chunk_bounds = _chunk_bounds(
+            queries.shape[0], self.n_shards, self._workers or 1
+        )
+        futures = [
+            (s, self._pool.submit(
+                _pool_batch_hits,
+                path,
+                queries[lo:hi],
+                self._mmap,
+                max_retrieved,
+                self._shm_min_bytes,
+            ))
+            for lo, hi in zip(chunk_bounds[:-1], chunk_bounds[1:])
+            for s, path in enumerate(self._paths)
+        ]
+        raw_by_shard: list[list] = [[] for _ in self._paths]
+        for s, future in futures:
+            raw_by_shard[s].append(future.result())
+
+        pipe_bytes = 0
+        shm_bytes = 0
+        blocks: list[BatchHits] = []
+        releases: list = []
+        for raws in raw_by_shard:
+            resolved = []
+            for raw in raws:
+                # Re-pickling what came off the pipe measures the actual
+                # transport cost (descriptors are tiny; fallback blocks
+                # carry their hit bytes).
+                pipe_bytes += len(
+                    pickle.dumps(raw, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+                if isinstance(raw, _ShmBlock):
+                    shm_bytes += raw.size * np.dtype(raw.dtype).itemsize
+                block, release = _resolve_block(raw)
+                resolved.append(block)
+                if release is not None:
+                    releases.append(release)
+            blocks.append(_concat_blocks(resolved))
+        self.last_transport = {
+            "pipe_bytes": int(pipe_bytes),
+            "shm_bytes": int(shm_bytes),
+            "tasks": len(futures),
+            "chunks": len(chunk_bounds) - 1,
+        }
+        return blocks, releases
 
     def batch_query(
         self, queries: np.ndarray, max_retrieved: int | None = None
@@ -293,9 +536,29 @@ class ShardedIndex:
         and merged exactly (global ids, first-seen dedup order, summed
         stats) — element-for-element identical to the unsharded index."""
         queries = self._check_queries(queries)
-        blocks = self._shard_blocks(queries)
+        if self._shards is None and self._pool is None:
+            raise ValueError(
+                "this ShardedIndex has been closed; load it again to serve"
+            )
+        if queries.shape[0] == 0:
+            return []
+        if self._pool is not None:
+            blocks, releases = self._pool_blocks(queries, max_retrieved)
+            try:
+                return _merge_blocks(
+                    blocks, self._bounds, self.n_tables, self.n_points,
+                    max_retrieved,
+                )
+            finally:
+                # Drop every view into the shared-memory segments before
+                # closing them (a mapped segment cannot close under live
+                # exports); they are already unlinked.
+                blocks.clear()
+                for release in releases:
+                    release()
         return _merge_blocks(
-            blocks, self._bounds, self.n_tables, self.n_points, max_retrieved
+            self._shard_blocks(queries), self._bounds, self.n_tables,
+            self.n_points, max_retrieved,
         )
 
     def query(
@@ -355,7 +618,10 @@ class ShardedIndex:
         ``mmap=True``).  ``workers=W`` starts a persistent ``W``-process
         pool instead and defers shard opening to the workers — the parent
         never touches table data, so cold start is the manifest read plus
-        pool spawn.
+        pool spawn.  The pool is shut down by :meth:`close` (idempotent),
+        by the context-manager exit, or — as a safety net — by a
+        ``weakref.finalize`` hook when the index is garbage collected, so
+        forgotten handles cannot leak worker processes.
         """
         from repro.api import IndexSpec, index_paths, load_index
 
@@ -376,6 +642,10 @@ class ShardedIndex:
             str(json_path.parent / name) for name in manifest["shards"]
         ]
         self._mmap = mmap
+        self._workers = workers
+        self._finalizer = None
+        self._shm_min_bytes = SHM_MIN_BYTES
+        self.last_transport = None
         # Fail now, not inside a pool worker's first query: a partial
         # deploy that missed a shard file should be caught at load time
         # with a clearly-attributed error.
@@ -398,15 +668,23 @@ class ShardedIndex:
                 raise ValueError(f"workers must be >= 1, got {workers}")
             self._shards = None
             self._pool = ProcessPoolExecutor(max_workers=workers)
+            self._finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool
+            )
         return self
 
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op for in-process serving)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Shut down the worker pool.  Idempotent; a no-op for in-process
+        serving."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        pool.shutdown()
 
     def __enter__(self) -> "ShardedIndex":
         return self

@@ -160,6 +160,25 @@ class TestBackendParity:
         assert d_sizes == p_sizes
         assert sum(d_sizes) == N_POINTS * N_TABLES
 
+    def test_bucket_dtype_is_int64_on_both_backends(self, backend_pair):
+        """The ``bucket()`` contract promises int64 regardless of backend:
+        the packed backend narrows stored ids to int32 when they fit, and
+        must widen at this surface instead of leaking dtype drift to
+        callers that mix backends.  Covers both populated and empty
+        buckets plus the batched hits surface."""
+        dict_index, packed_index, queries = backend_pair
+        for index in (dict_index, packed_index):
+            saw_hit = False
+            for q in queries:
+                for t, pair in enumerate(index._pairs):
+                    bucket = index._backend.bucket(
+                        t, pair.hash_query(np.atleast_2d(q))
+                    )
+                    assert bucket.dtype == np.int64, index.backend
+                    saw_hit |= bucket.size > 0
+            assert index.batch_query_hits(queries).hits.dtype == np.int64
+            assert saw_hit  # data points guarantee at least one hit
+
 
 class TestBatchMatchesSingle:
     """Property/regression: ``batch_query`` must agree with per-query

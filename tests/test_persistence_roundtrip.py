@@ -307,6 +307,26 @@ class TestArrayBundles:
         assert isinstance(mapped["points"], np.memmap)
         assert not isinstance(eager["points"], np.memmap)
 
+    def test_write_arrays_suffix_handling(self, tmp_path):
+        """``write_arrays`` appends ``.npz`` via a proper suffix check —
+        historically a ``name[-4:]`` slice that misfired on names shorter
+        than four characters and on uppercase suffixes."""
+        arrays = {"ids": np.arange(5, dtype=np.int64)}
+        # Short / odd names must gain the suffix, never crash or double it.
+        for given, expected in [
+            ("a", "a.npz"),
+            ("npz", "npz.npz"),
+            ("x.np", "x.np.npz"),
+            ("bundle.npz", "bundle.npz"),
+        ]:
+            path = write_arrays(tmp_path / given, arrays)
+            assert path.name == expected
+            np.testing.assert_array_equal(read_arrays(path)["ids"], arrays["ids"])
+        # An uppercase suffix already names an npz: keep it as-is.
+        path = write_arrays(tmp_path / "bundle.NPZ", arrays)
+        assert path.name == "bundle.NPZ"
+        np.testing.assert_array_equal(read_arrays(path)["ids"], arrays["ids"])
+
 
 class TestRngState:
     def test_state_roundtrip_reproduces_stream(self):

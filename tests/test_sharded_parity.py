@@ -22,7 +22,7 @@ N_POINTS = 257  # deliberately not divisible by the shard counts
 N_TABLES = 8
 D = 24
 SHARD_COUNTS = [1, 2, 3, 5]
-BUDGETS = [None, 0, 5, 40, 8 * N_TABLES]
+BUDGETS = [None, 0, 1, 5, 40, 8 * N_TABLES]
 
 
 def _clustered_points(n, rng):
@@ -183,6 +183,165 @@ class TestShardedPersistence:
             _assert_results_equal(
                 flat.batch_query(queries), served.batch_query(queries)
             )
+
+
+class TestPoolTransport:
+    """The shared-memory + worker-clipping transport must be invisible to
+    correctness: identical results whether hits travel through shm
+    segments or the pickle fallback, with or without chunking, with or
+    without a worker-side budget clip."""
+
+    def test_shm_forced_parity_across_budgets(self, data, tmp_path):
+        points, queries = data
+        flat = _spec().build(points)
+        ShardedIndex(points, _spec(shards=3)).save(tmp_path / "srv")
+        with load_index(tmp_path / "srv", workers=2) as served:
+            served._shm_min_bytes = 0  # every result through shared memory
+            for budget in BUDGETS:
+                _assert_results_equal(
+                    flat.batch_query(queries, max_retrieved=budget),
+                    served.batch_query(queries, max_retrieved=budget),
+                )
+                assert served.last_transport["shm_bytes"] > 0
+
+    def test_pickle_fallback_parity(self, data, tmp_path):
+        points, queries = data
+        flat = _spec().build(points)
+        ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
+        with load_index(tmp_path / "srv", workers=1) as served:
+            served._shm_min_bytes = None  # never use shared memory
+            for budget in (None, 1, 23):
+                _assert_results_equal(
+                    flat.batch_query(queries, max_retrieved=budget),
+                    served.batch_query(queries, max_retrieved=budget),
+                )
+                assert served.last_transport["shm_bytes"] == 0
+                assert served.last_transport["pipe_bytes"] > 0
+
+    def test_query_chunking_parity(self, data, tmp_path):
+        """A block large enough to chunk must split into multiple
+        (shard, chunk) tasks and still merge exactly."""
+        points, _ = data
+        rng = np.random.default_rng(5)
+        queries = _clustered_points(80, rng)
+        flat = _spec().build(points)
+        ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
+        with load_index(tmp_path / "srv", workers=2) as served:
+            _assert_results_equal(
+                flat.batch_query(queries, max_retrieved=40),
+                served.batch_query(queries, max_retrieved=40),
+            )
+            assert served.last_transport["chunks"] >= 2
+            assert served.last_transport["tasks"] == (
+                served.last_transport["chunks"] * served.n_shards
+            )
+
+    def test_worker_clip_shrinks_payload(self, data, tmp_path):
+        """A tight budget must reduce what workers ship, not just what the
+        merge keeps."""
+        points, queries = data
+        ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
+        with load_index(tmp_path / "srv", workers=1) as served:
+            served._shm_min_bytes = None  # everything over the pipe
+            served.batch_query(queries)
+            unclipped = served.last_transport["pipe_bytes"]
+            served.batch_query(queries, max_retrieved=1)
+            clipped = served.last_transport["pipe_bytes"]
+        assert clipped < unclipped
+
+    def test_stale_shard_cache_evicted_on_resave(self, data, tmp_path):
+        """Hot swap: re-saving shard files under a live pool must evict the
+        per-worker mmap cache, not keep answering from the old bytes."""
+        points, queries = data
+        rng = np.random.default_rng(99)
+        replacement = _clustered_points(N_POINTS, rng)
+        ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
+        with load_index(tmp_path / "srv", workers=1) as served:
+            _assert_results_equal(
+                _spec().build(points).batch_query(queries),
+                served.batch_query(queries),  # warms the worker cache
+            )
+            ShardedIndex(replacement, _spec(shards=2)).save(tmp_path / "srv")
+            _assert_results_equal(
+                _spec().build(replacement).batch_query(queries),
+                served.batch_query(queries),
+            )
+
+
+class TestPoolLifecycle:
+    def test_close_is_idempotent(self, data, tmp_path):
+        points, _ = data
+        ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
+        served = load_index(tmp_path / "srv", workers=1)
+        pool = served._pool
+        served.close()
+        served.close()  # second close must be a clean no-op
+        assert pool._shutdown_thread
+
+    def test_dropped_handle_shuts_pool_down(self, data, tmp_path):
+        """Forgetting close() must not leak worker processes: the finalize
+        hook shuts the pool down when the index is collected."""
+        import gc
+
+        points, _ = data
+        ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
+        served = load_index(tmp_path / "srv", workers=1)
+        pool = served._pool
+        del served
+        gc.collect()
+        assert pool._shutdown_thread
+
+    def test_repr_tracks_serving_mode(self, data, tmp_path):
+        points, _ = data
+        in_memory = ShardedIndex(points, _spec(shards=2))
+        assert "in-process" in repr(in_memory)
+        in_memory.save(tmp_path / "srv")
+        served = load_index(tmp_path / "srv", workers=2)
+        assert "pool=2" in repr(served)
+        served.close()
+        assert "closed" in repr(served)
+
+
+class TestEmptyShardContribution:
+    """A shard whose buckets never match the query (zero counts in every
+    table) must vanish from the merge without perturbing order, stats, or
+    budgets — checked differentially against the dict backend's reference
+    ``_scan`` in both sharded modes."""
+
+    @pytest.fixture(scope="class")
+    def split_data(self):
+        # First half all-zeros, second half all-ones: with 2 contiguous
+        # shards, an all-zeros query only ever hits shard 0's buckets.
+        points = np.concatenate([
+            np.zeros((40, D), dtype=np.int8),
+            np.ones((40, D), dtype=np.int8),
+        ])
+        queries = np.concatenate([
+            np.zeros((2, D), dtype=np.int8),
+            np.ones((2, D), dtype=np.int8),
+        ])
+        return points, queries
+
+    @pytest.mark.parametrize("budget", [None, 0, 1, 15, 40])
+    def test_in_process(self, split_data, budget):
+        points, queries = split_data
+        reference = _spec("dict").build(points)  # funnels through _scan
+        sharded = ShardedIndex(points, _spec(shards=2))
+        _assert_results_equal(
+            reference.batch_query(queries, max_retrieved=budget),
+            sharded.batch_query(queries, max_retrieved=budget),
+        )
+
+    def test_pool(self, split_data, tmp_path):
+        points, queries = split_data
+        reference = _spec("dict").build(points)
+        ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
+        with load_index(tmp_path / "srv", workers=1) as served:
+            for budget in (None, 0, 1, 15, 40):
+                _assert_results_equal(
+                    reference.batch_query(queries, max_retrieved=budget),
+                    served.batch_query(queries, max_retrieved=budget),
+                )
 
 
 class TestSpecValidation:
