@@ -1,0 +1,42 @@
+"""Repo-specific static analysis: the invariant linter behind
+``python -m repro.analysis``.
+
+This package turns the correctness invariants earlier PRs learned the
+hard way into lint-time checks (rules ``RR001``–``RR006``): RNG
+discipline for exact captured-state rebuilds, the int64-id / uint64-
+fingerprint dtype contract, transport hygiene (no table data over
+pickle), a declared/annotated/documented API surface, ``assert``- and
+mutable-default-free library code, and exactness-preserving budget
+clipping via ``clip_batch_hits``.  See :mod:`repro.analysis.engine` for
+the rule framework, :mod:`repro.analysis.rules` for the registry, and
+:mod:`repro.analysis.baseline` for the commit-and-ratchet baseline.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.cli import main
+from repro.analysis.engine import (
+    Rule,
+    SourceFile,
+    Violation,
+    collect_files,
+    run_files,
+    run_source,
+)
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "RULES_BY_ID",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "collect_files",
+    "load_baseline",
+    "main",
+    "run_files",
+    "run_source",
+    "write_baseline",
+]

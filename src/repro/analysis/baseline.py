@@ -1,0 +1,90 @@
+"""Committed JSON baseline for the invariant linter.
+
+A baseline is the set of *known, temporarily tolerated* violations: the
+CLI fails only on violations **not** in the baseline, so the gate can be
+adopted on a dirty tree and ratcheted down.  This repo commits an empty
+baseline (``analysis_baseline.json``) and the self-check test holds it
+empty-or-shrinking — new violations can never ride in on the back of old
+ones.
+
+Matching is line-insensitive (``(rule, path, message)`` multisets) so
+unrelated edits that shift code do not invalidate the file.  Baseline
+entries that no longer match anything are reported as *stale* — the
+signal to shrink the file.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter
+
+from repro.analysis.engine import Violation
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """A multiset of tolerated violation identities."""
+
+    def __init__(self, entries: list[dict[str, object]]) -> None:
+        self.entries = entries
+        self._counts: Counter[tuple[str, str, str]] = Counter(
+            (str(e["rule"]), str(e["path"]), str(e["message"]))
+            for e in entries
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def partition(
+        self, violations: list[Violation]
+    ) -> tuple[list[Violation], list[Violation], int]:
+        """Split ``violations`` into ``(new, baselined)`` plus the count
+        of stale baseline entries that matched nothing this run."""
+        remaining = Counter(self._counts)
+        new: list[Violation] = []
+        baselined: list[Violation] = []
+        for violation in violations:
+            key = violation.identity()
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                baselined.append(violation)
+            else:
+                new.append(violation)
+        stale = sum(remaining.values())
+        return new, baselined, stale
+
+
+def load_baseline(path: str | pathlib.Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    file = pathlib.Path(path)
+    if not file.exists():
+        return Baseline([])
+    payload = json.loads(file.read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != _VERSION:
+        raise ValueError(
+            f"{file}: unsupported baseline version {version!r} "
+            f"(expected {_VERSION})"
+        )
+    entries = payload.get("violations", [])
+    if not isinstance(entries, list):
+        raise ValueError(f"{file}: 'violations' must be a list")
+    return Baseline(entries)
+
+
+def write_baseline(
+    path: str | pathlib.Path, violations: list[Violation]
+) -> None:
+    """Serialize ``violations`` as a fresh baseline file."""
+    payload = {
+        "version": _VERSION,
+        "violations": [v.to_dict() for v in violations],
+    }
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

@@ -1,0 +1,161 @@
+"""Command-line front-end: ``python -m repro.analysis [paths...]``.
+
+Exit status is 0 when every violation is covered by the baseline (for
+this repo: when there are none — the committed baseline is empty) and 1
+otherwise, so the command slots directly into CI.  ``--format json``
+emits a machine-readable report (uploaded as a CI artifact);
+``--write-baseline`` snapshots the current violations to adopt the gate
+on a dirty tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.engine import Violation, collect_files, run_files
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID
+
+__all__ = ["main", "build_parser"]
+
+_DEFAULT_BASELINE = "analysis_baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.analysis`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Repo-specific invariant linter: AST rules RR001-RR006 "
+            "enforcing the RNG, dtype, transport, API-surface, hygiene, "
+            "and clip-discipline contracts of this codebase."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=_DEFAULT_BASELINE,
+        help=(
+            "JSON baseline of tolerated violations "
+            f"(default: {_DEFAULT_BASELINE}; a missing file is an empty "
+            "baseline)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current violations into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry (id, name, rationale) and exit",
+    )
+    return parser
+
+
+def _print_human(
+    new: list[Violation],
+    baselined: list[Violation],
+    stale: int,
+    errors: list[str],
+    n_files: int,
+) -> None:
+    for violation in new:
+        print(violation.render())
+    for message in errors:
+        print(f"parse error: {message}")
+    summary = (
+        f"{n_files} files checked: {len(new)} new violation(s), "
+        f"{len(baselined)} baselined"
+    )
+    if stale:
+        summary += f", {stale} stale baseline entr(y/ies) — shrink the baseline"
+    print(summary)
+
+
+def _print_json(
+    new: list[Violation],
+    baselined: list[Violation],
+    stale: int,
+    errors: list[str],
+    n_files: int,
+) -> None:
+    payload = {
+        "version": 1,
+        "files_checked": n_files,
+        "rules": [
+            {
+                "id": rule.rule_id,
+                "name": rule.name,
+                "rationale": rule.rationale,
+            }
+            for rule in ALL_RULES
+        ],
+        "violations": [v.to_dict() for v in new],
+        "baselined": [v.to_dict() for v in baselined],
+        "stale_baseline_entries": stale,
+        "parse_errors": errors,
+    }
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    print()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.name}\n    {rule.rationale}")
+        return 0
+    rules = list(ALL_RULES)
+    if args.select is not None:
+        wanted = [code.strip().upper() for code in args.select.split(",")]
+        unknown = [code for code in wanted if code not in RULES_BY_ID]
+        if unknown:
+            print(
+                f"unknown rule id(s): {', '.join(unknown)}; "
+                f"known: {', '.join(RULES_BY_ID)}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [RULES_BY_ID[code] for code in wanted]
+    try:
+        files = collect_files(args.paths)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    violations, errors = run_files(files, rules)
+    if args.write_baseline:
+        write_baseline(args.baseline, violations)
+        print(
+            f"wrote {len(violations)} violation(s) to {args.baseline}"
+        )
+        return 0
+    baseline = load_baseline(args.baseline)
+    new, baselined, stale = baseline.partition(violations)
+    if args.format == "json":
+        _print_json(new, baselined, stale, errors, len(files))
+    else:
+        _print_human(new, baselined, stale, errors, len(files))
+    return 1 if new or errors else 0

@@ -1,0 +1,230 @@
+"""Core machinery of the repo-specific invariant linter.
+
+The :mod:`repro.analysis` subsystem enforces, at lint time, the
+correctness invariants this codebase accumulated the hard way: captured
+RNG state must be able to revive identical hash pairs, int64 id / uint64
+fingerprint dtype contracts must hold across the backend boundary,
+table data must never travel over pickle, and budget clipping must go
+through the exactness-preserving :func:`repro.index.backends.clip_batch_hits`.
+Each invariant is an AST :class:`Rule` with a stable ``RR0xx`` id; the
+engine parses every file once, hands a :class:`SourceFile` to each rule,
+filters ``# noqa: RR0xx`` suppressions, and diffs the surviving
+violations against a committed JSON baseline (see
+:mod:`repro.analysis.baseline`).
+
+Suppression syntax follows flake8: a ``# noqa`` comment on the violation's
+reported line suppresses everything on that line, ``# noqa: RR001`` (or a
+comma-separated list) suppresses only the named rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import re
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Violation",
+    "SourceFile",
+    "Rule",
+    "collect_files",
+    "run_source",
+    "run_files",
+    "dotted_name",
+]
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*))?",
+    re.IGNORECASE,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One rule hit: where it happened and why it matters.
+
+    ``line``/``col`` are 1-based/0-based as in :mod:`ast`.  Baseline
+    matching deliberately ignores ``line`` (see :meth:`identity`) so that
+    unrelated edits shifting code downward do not invalidate a committed
+    baseline.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def identity(self) -> tuple[str, str, str]:
+        """Line-insensitive identity used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (the ``--format json`` payload)."""
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        """Human-readable one-liner, ``path:line:col: RR0xx message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class SourceFile:
+    """One parsed module plus the lookups every rule needs.
+
+    Parsing happens once here; rules receive the shared tree.  Parent
+    pointers (``node.parent``) are attached to every AST node, and
+    function spans are pre-indexed so rules can ask for the innermost
+    enclosing function of any line (used for per-site exemptions such as
+    the sanctioned dtype-narrowing site in ``PackedBackend.build``).
+    """
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path.replace("\\", "/")
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+        self._attach_parents()
+        self._func_spans: list[tuple[int, int, str]] = []
+        self._index_functions()
+        self._noqa: dict[int, frozenset[str] | None] = {}
+        self._scan_noqa()
+
+    def _attach_parents(self) -> None:
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                child.parent = node  # type: ignore[attr-defined]
+
+    def _index_functions(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                end = node.end_lineno if node.end_lineno else node.lineno
+                self._func_spans.append((node.lineno, end, node.name))
+        # Innermost-first lookup: sort by span length ascending.
+        self._func_spans.sort(key=lambda span: span[1] - span[0])
+
+    def _scan_noqa(self) -> None:
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _NOQA_RE.search(line)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                self._noqa[lineno] = None  # bare noqa: suppress everything
+            else:
+                self._noqa[lineno] = frozenset(
+                    code.strip().upper() for code in codes.split(",")
+                )
+
+    def enclosing_function(self, line: int) -> str | None:
+        """Name of the innermost function containing ``line``, if any."""
+        for start, end, name in self._func_spans:
+            if start <= line <= end:
+                return name
+        return None
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        """Whether a ``# noqa`` comment on the violation line covers it."""
+        codes = self._noqa.get(violation.line, frozenset())
+        if codes is None:
+            return True
+        return violation.rule in codes
+
+    def path_endswith(self, *suffixes: str) -> bool:
+        """Posix-path suffix test used by per-file rule exemptions."""
+        return self.path.endswith(suffixes)
+
+    def path_contains(self, fragment: str) -> bool:
+        """Posix-path substring test used by per-directory exemptions."""
+        return fragment in self.path
+
+
+class Rule:
+    """Base class for one lintable invariant.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``rule_id`` is the stable ``RR0xx`` code used in output, ``# noqa``
+    comments, and the baseline; ``rationale`` is the one-line "why" shown
+    by ``--list-rules`` and the README.
+    """
+
+    rule_id: str = "RR000"
+    name: str = "abstract"
+    rationale: str = ""
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        """Yield every violation of this rule in ``src``."""
+        raise NotImplementedError
+
+    def violation(
+        self, src: SourceFile, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            rule=self.rule_id,
+            path=src.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Flatten ``a.b.c`` attribute chains to ``"a.b.c"``; ``None`` if the
+    expression is not a pure name/attribute chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def collect_files(paths: Sequence[str | pathlib.Path]) -> list[pathlib.Path]:
+    """Expand files/directories to a sorted list of ``.py`` files."""
+    out: set[pathlib.Path] = set()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            out.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            out.add(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(out)
+
+
+def run_source(
+    src: SourceFile, rules: Iterable[Rule]
+) -> list[Violation]:
+    """Run ``rules`` over one parsed file, honoring ``# noqa``."""
+    found: list[Violation] = []
+    for rule in rules:
+        for violation in rule.check(src):
+            if not src.is_suppressed(violation):
+                found.append(violation)
+    found.sort(key=lambda v: (v.line, v.col, v.rule))
+    return found
+
+
+def run_files(
+    files: Sequence[pathlib.Path], rules: Sequence[Rule]
+) -> tuple[list[Violation], list[str]]:
+    """Lint many files; returns ``(violations, parse_errors)``.
+
+    A file that fails to parse contributes a message to ``parse_errors``
+    instead of aborting the run — the CLI reports those as failures too.
+    """
+    violations: list[Violation] = []
+    errors: list[str] = []
+    for path in files:
+        try:
+            src = SourceFile(str(path), path.read_text(encoding="utf-8"))
+        except SyntaxError as exc:
+            errors.append(f"{path}: {exc.msg} (line {exc.lineno})")
+            continue
+        violations.extend(run_source(src, rules))
+    return violations, errors

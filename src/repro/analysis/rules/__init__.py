@@ -1,0 +1,39 @@
+"""Rule registry for the repo-specific invariant linter.
+
+One module per rule; :data:`ALL_RULES` is the canonical ordered registry
+the CLI and tests consume.  Rule ids are stable — they appear in
+``# noqa`` comments and committed baselines — so a retired rule's id is
+never reused.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.api_surface import ApiSurfaceRule
+from repro.analysis.rules.clip_discipline import ClipDisciplineRule
+from repro.analysis.rules.dtype_contract import DtypeContractRule
+from repro.analysis.rules.hygiene import HygieneRule
+from repro.analysis.rules.rng_discipline import RngDisciplineRule
+from repro.analysis.rules.transport_hygiene import TransportHygieneRule
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "ApiSurfaceRule",
+    "ClipDisciplineRule",
+    "DtypeContractRule",
+    "HygieneRule",
+    "RngDisciplineRule",
+    "TransportHygieneRule",
+]
+
+ALL_RULES: tuple[Rule, ...] = (
+    RngDisciplineRule(),
+    DtypeContractRule(),
+    TransportHygieneRule(),
+    ApiSurfaceRule(),
+    HygieneRule(),
+    ClipDisciplineRule(),
+)
+
+RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

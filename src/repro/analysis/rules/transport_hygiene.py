@@ -1,0 +1,72 @@
+"""RR003 — pickle and process-transport imports stay in the serving layer.
+
+The serving contract since PR 3/4: **no table data over pickle**.  Worker
+processes mmap shard files and return hits through shared memory; only
+descriptors cross the pipe.  The moment ``pickle`` / ``multiprocessing``
+/ ``shared_memory`` shows up outside :mod:`repro.serving` or
+:mod:`repro.index.persistence`, someone is about to serialize arrays the
+slow (and dtype-lossy) way.  ``concurrent.futures`` thread pools are
+deliberately *not* banned: threads share an address space, so no
+serialization is involved.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Rule, SourceFile, Violation
+
+__all__ = ["TransportHygieneRule"]
+
+_BANNED_ROOTS = frozenset({"pickle", "cPickle", "_pickle", "multiprocessing"})
+
+# Paths where transport machinery legitimately lives.
+_ALLOWED_FRAGMENT = "/serving/"
+_ALLOWED_SUFFIX = "index/persistence.py"
+
+
+class TransportHygieneRule(Rule):
+    """Confine pickle/multiprocessing imports to the serving layer."""
+
+    rule_id = "RR003"
+    name = "transport-hygiene"
+    rationale = (
+        "table data must never travel over pickle; transport imports are "
+        "confined to repro/serving/ and index/persistence.py where the "
+        "shared-memory/mmap discipline is enforced"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Violation]:
+        """Find transport imports outside the serving layer."""
+        if src.path_contains(_ALLOWED_FRAGMENT) or src.path_endswith(
+            _ALLOWED_SUFFIX
+        ):
+            return
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _BANNED_ROOTS:
+                        yield self._flag(src, node, alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                if root in _BANNED_ROOTS:
+                    yield self._flag(src, node, node.module)
+                elif any(
+                    alias.name == "shared_memory" for alias in node.names
+                ):
+                    yield self._flag(
+                        src, node, f"{node.module}.shared_memory"
+                    )
+
+    def _flag(
+        self, src: SourceFile, node: ast.AST, module: str
+    ) -> Violation:
+        return self.violation(
+            src,
+            node,
+            f"transport import `{module}` outside the serving layer: "
+            "pickle/process transport is confined to repro/serving/ and "
+            "index/persistence.py (no table data over pickle)",
+        )

@@ -69,6 +69,7 @@ from repro.index.backends import BACKENDS
 from repro.index.hyperplane import HyperplaneIndex
 from repro.index.lsh_index import DSHIndex
 from repro.index.persistence import FORMAT_VERSION, read_arrays, write_arrays
+from repro.index.queryable import Queryable
 from repro.index.range_reporting import RangeReportingIndex
 
 __all__ = [
@@ -76,6 +77,7 @@ __all__ = [
     "IndexSpec",
     "build_index",
     "register_proximity",
+    "index_paths",
     "save_index",
     "load_index",
 ]
@@ -327,7 +329,9 @@ class IndexSpec:
         power = params.pop("power", 1)
         return make_family(self.family, power=power, **params)
 
-    def build(self, points: np.ndarray, workers: int | None = None):
+    def build(
+        self, points: np.ndarray, workers: int | None = None
+    ) -> Queryable:
         """Build the index described by this spec over ``points``.
 
         The returned object satisfies
@@ -532,7 +536,7 @@ def _inner_dsh_index(index) -> DSHIndex:
     )
 
 
-def save_index(index, path: str | pathlib.Path) -> pathlib.Path:
+def save_index(index: Queryable, path: str | pathlib.Path) -> pathlib.Path:
     """Persist a built index as ``<path>.npz`` + ``<path>.json``.
 
     The ``.npz`` holds the storage backend's table arrays (for the packed
@@ -646,7 +650,7 @@ def load_index(
     path: str | pathlib.Path,
     mmap: bool = True,
     workers: int | None = None,
-):
+) -> Queryable:
     """Revive a :func:`save_index` index — zero-copy, O(1) in ``n``.
 
     With ``mmap=True`` (default) the table arrays (and ``points`` for

@@ -55,12 +55,13 @@ class ConcatenatedFamily(DSHFamily):
     product of sub-CPFs.
     """
 
-    def __init__(self, families: Sequence[DSHFamily]):
+    def __init__(self, families: Sequence[DSHFamily]) -> None:
         self.families = list(families)
         if not self.families:
             raise ValueError("need at least one family")
 
     def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        """Draw independent sub-pairs and stack their hash components."""
         rng = ensure_rng(rng)
         pairs = [fam.sample(r) for fam, r in zip(self.families, spawn_rngs(rng, len(self.families)))]
 
@@ -74,10 +75,12 @@ class ConcatenatedFamily(DSHFamily):
 
     @property
     def cpf(self) -> CPF | None:
+        """Product of the sub-CPFs (``None`` if any sub-CPF is unknown)."""
         return _combined_cpf_or_none(self.families, ProductCPF)
 
     @property
     def is_symmetric(self) -> bool:
+        """Symmetric iff every sub-family is symmetric."""
         return all(fam.is_symmetric for fam in self.families)
 
 
@@ -88,7 +91,7 @@ class PoweredFamily(ConcatenatedFamily):
     collision probabilities below ``1/n`` (remark after Theorem 6.1).
     """
 
-    def __init__(self, base: DSHFamily, k: int):
+    def __init__(self, base: DSHFamily, k: int) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         super().__init__([base] * k)
@@ -97,6 +100,7 @@ class PoweredFamily(ConcatenatedFamily):
 
     @property
     def cpf(self) -> CPF | None:
+        """``f**k`` for base CPF ``f`` (``None`` if the base has none)."""
         base_cpf = self.base.cpf
         return None if base_cpf is None else PowerCPF(base_cpf, self.k)
 
@@ -109,7 +113,7 @@ class MixtureFamily(DSHFamily):
     are impossible and the CPF is exactly ``sum_i p_i f_i``.
     """
 
-    def __init__(self, families: Sequence[DSHFamily], weights: Sequence[float]):
+    def __init__(self, families: Sequence[DSHFamily], weights: Sequence[float]) -> None:
         self.families = list(families)
         self.weights = np.asarray(weights, dtype=np.float64).ravel()
         if len(self.families) != self.weights.size or not self.families:
@@ -118,6 +122,7 @@ class MixtureFamily(DSHFamily):
             raise ValueError(f"weights must form a probability vector, got {weights}")
 
     def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        """Draw one sub-family by weight; its index tags the components."""
         rng = ensure_rng(rng)
         index = int(rng.choice(len(self.families), p=self.weights))
         inner = self.families[index].sample(rng)
@@ -136,12 +141,14 @@ class MixtureFamily(DSHFamily):
 
     @property
     def cpf(self) -> CPF | None:
+        """Weighted mixture of the sub-CPFs (``None`` if any is unknown)."""
         return _combined_cpf_or_none(
             self.families, lambda cpfs: MixtureCPF(cpfs, self.weights)
         )
 
     @property
     def is_symmetric(self) -> bool:
+        """Symmetric iff every sub-family is symmetric."""
         return all(fam.is_symmetric for fam in self.families)
 
 
@@ -170,13 +177,14 @@ class TransformedFamily(DSHFamily):
         data_map: Callable[[np.ndarray], np.ndarray] | None = None,
         query_map: Callable[[np.ndarray], np.ndarray] | None = None,
         cpf: CPF | None = None,
-    ):
+    ) -> None:
         self.base = base
         self.data_map = data_map
         self.query_map = query_map
         self._cpf = cpf
 
     def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        """Draw from ``base`` and precompose the point maps."""
         inner = self.base.sample(rng)
         data_map = self.data_map
         query_map = self.query_map
@@ -197,10 +205,12 @@ class TransformedFamily(DSHFamily):
 
     @property
     def cpf(self) -> CPF | None:
+        """The CPF supplied at construction (``None`` when unknown)."""
         return self._cpf
 
     @property
     def is_symmetric(self) -> bool:
+        """Symmetric only when no point map is applied to either side."""
         # Even if the base is symmetric, different point maps break symmetry.
         return (
             self.base.is_symmetric

@@ -58,7 +58,7 @@ class CPF:
         Human-readable formula used in ``repr``.
     """
 
-    def __init__(self, arg_kind: str, description: str = ""):
+    def __init__(self, arg_kind: str, description: str = "") -> None:
         if arg_kind not in ARG_KINDS:
             raise ValueError(f"arg_kind must be one of {ARG_KINDS}, got {arg_kind!r}")
         self.arg_kind = arg_kind
@@ -85,7 +85,7 @@ class CPF:
 class LambdaCPF(CPF):
     """Wrap an arbitrary vectorized function as a CPF."""
 
-    def __init__(self, func: Callable[[np.ndarray], np.ndarray], arg_kind: str, description: str = "lambda"):
+    def __init__(self, func: Callable[[np.ndarray], np.ndarray], arg_kind: str, description: str = "lambda") -> None:
         super().__init__(arg_kind, description)
         self._func = func
 
@@ -97,7 +97,7 @@ class ConstantCPF(CPF):
     """``f = p`` regardless of distance — the CPF of the constant-collision
     family used as a building block in Theorem 5.2's sub-schemes."""
 
-    def __init__(self, p: float, arg_kind: str = "relative_distance"):
+    def __init__(self, p: float, arg_kind: str = "relative_distance") -> None:
         super().__init__(arg_kind, f"constant {p}")
         self.p = check_probability(p, "p")
 
@@ -146,7 +146,7 @@ class PolynomialCPF(CPF):
     distance, ``scale = Delta``).
     """
 
-    def __init__(self, coefficients: Sequence[float], arg_kind: str, scale: float = 1.0):
+    def __init__(self, coefficients: Sequence[float], arg_kind: str, scale: float = 1.0) -> None:
         coefficients = np.asarray(coefficients, dtype=np.float64).ravel()
         if coefficients.size == 0:
             raise ValueError("polynomial must have at least one coefficient")
@@ -166,7 +166,7 @@ class PolynomialCPF(CPF):
 class ProductCPF(CPF):
     """``f = prod_i f_i`` — the CPF of concatenated families (Lemma 1.4(a))."""
 
-    def __init__(self, cpfs: Sequence[CPF]):
+    def __init__(self, cpfs: Sequence[CPF]) -> None:
         cpfs = list(cpfs)
         if not cpfs:
             raise ValueError("need at least one CPF")
@@ -189,7 +189,7 @@ class MixtureCPF(CPF):
     ``weights`` must be a probability vector over the component CPFs.
     """
 
-    def __init__(self, cpfs: Sequence[CPF], weights: Sequence[float]):
+    def __init__(self, cpfs: Sequence[CPF], weights: Sequence[float]) -> None:
         cpfs = list(cpfs)
         weights = np.asarray(weights, dtype=np.float64).ravel()
         if len(cpfs) != weights.size or not cpfs:
@@ -217,7 +217,7 @@ class PowerCPF(CPF):
     """``f = base**k`` — the CPF of ``k``-fold powering (Lemma 1.4(a) applied
     to ``k`` copies of one family), the standard amplification step."""
 
-    def __init__(self, base: CPF, k: int):
+    def __init__(self, base: CPF, k: int) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         super().__init__(base.arg_kind, f"({base.description})^{k}")
@@ -235,7 +235,7 @@ class EmpiricalCPF(CPF):
     for feeding measured CPFs into index parameter selection.
     """
 
-    def __init__(self, xs: Sequence[float], values: Sequence[float], arg_kind: str):
+    def __init__(self, xs: Sequence[float], values: Sequence[float], arg_kind: str) -> None:
         xs = np.asarray(xs, dtype=np.float64).ravel()
         values = np.asarray(values, dtype=np.float64).ravel()
         if xs.size != values.size or xs.size < 2:

@@ -191,10 +191,12 @@ class SymmetricFamily(DSHFamily):
         """Draw one hash function ``(n, d) -> (n, c)``."""
 
     def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        """Draw one hash function and use it for both sides of the pair."""
         rng = ensure_rng(rng)
         func = self.sample_function(rng)
         return HashPair(h=func, g=func)
 
     @property
     def is_symmetric(self) -> bool:
+        """Always ``True``: both sides share one hash function."""
         return True

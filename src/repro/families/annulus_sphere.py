@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.core.combinators import ConcatenatedFamily
 from repro.core.cpf import CPF, ProductCPF
-from repro.core.family import DSHFamily
+from repro.core.family import DSHFamily, HashPair
 from repro.families.filters import GaussianFilterCPF, GaussianFilterFamily
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_in_open_interval, check_positive
@@ -101,7 +101,7 @@ class AnnulusFamily(DSHFamily):
         t: float,
         m_plus: int | None = None,
         m_minus: int | None = None,
-    ):
+    ) -> None:
         check_in_open_interval(alpha_max, -1.0, 1.0, "alpha_max")
         check_positive(t, "t")
         self.d = int(d)
@@ -112,11 +112,13 @@ class AnnulusFamily(DSHFamily):
         self.minus = GaussianFilterFamily(d, self.t_minus, m=m_minus, negated=True)
         self._inner = ConcatenatedFamily([self.plus, self.minus])
 
-    def sample(self, rng: int | np.random.Generator | None = None):
+    def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        """Draw one concatenated D+/D- filter pair."""
         return self._inner.sample(ensure_rng(rng))
 
     @property
     def cpf(self) -> CPF:
+        """Product of the D+ and D- filter CPFs (the Section 6.2 peak)."""
         return ProductCPF(
             [
                 GaussianFilterCPF(self.t_plus, self.plus.m, negated=False),

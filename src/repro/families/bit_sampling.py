@@ -65,12 +65,13 @@ class BitSampling(DSHFamily):
         Dimension of the Hamming cube.
     """
 
-    def __init__(self, d: int):
+    def __init__(self, d: int) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         self.d = int(d)
 
     def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        """Pick a random coordinate; both sides project onto it."""
         rng = ensure_rng(rng)
         i = int(rng.integers(0, self.d))
         func = lambda points: _column(points, i)  # noqa: E731 - tiny closure
@@ -78,10 +79,12 @@ class BitSampling(DSHFamily):
 
     @property
     def cpf(self) -> CPF:
+        """The decreasing CPF ``f(t) = 1 - t``."""
         return BitSamplingCPF()
 
     @property
     def is_symmetric(self) -> bool:
+        """Always ``True``: classical LSH, both sides share the hash."""
         return True
 
 
@@ -94,12 +97,13 @@ class AntiBitSampling(DSHFamily):
     ``bench_sec41_anti_bitsampling``).
     """
 
-    def __init__(self, d: int):
+    def __init__(self, d: int) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         self.d = int(d)
 
     def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        """Pick a random coordinate; the query side negates its bit."""
         rng = ensure_rng(rng)
         i = int(rng.integers(0, self.d))
         return HashPair(
@@ -110,6 +114,7 @@ class AntiBitSampling(DSHFamily):
 
     @property
     def cpf(self) -> CPF:
+        """The increasing CPF ``f(t) = t``."""
         return AntiBitSamplingCPF()
 
 
@@ -125,11 +130,12 @@ class ConstantCollisionFamily(DSHFamily):
     bias term to a CPF, and they also realize ``P(t) = a_0`` terms.
     """
 
-    def __init__(self, p: float, arg_kind: str = "relative_distance"):
+    def __init__(self, p: float, arg_kind: str = "relative_distance") -> None:
         self.p = check_probability(p, "p")
         self._arg_kind = arg_kind
 
     def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        """Flip the shared coin: collide everywhere or nowhere."""
         rng = ensure_rng(rng)
         collide = bool(rng.random() < self.p)
 
@@ -145,6 +151,7 @@ class ConstantCollisionFamily(DSHFamily):
 
     @property
     def cpf(self) -> CPF:
+        """The constant CPF ``f == p``."""
         return ConstantCPF(self.p, self._arg_kind)
 
 

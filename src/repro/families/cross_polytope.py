@@ -18,6 +18,8 @@ rounds, as used in practice by [8]) is provided for large ``d``.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.booleancube.walsh import walsh_hadamard_transform
@@ -52,12 +54,13 @@ class CrossPolytope(SymmetricFamily):
         matter to the hash).
     """
 
-    def __init__(self, d: int):
+    def __init__(self, d: int) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         self.d = int(d)
 
-    def sample_function(self, rng: np.random.Generator):
+    def sample_function(self, rng: np.random.Generator) -> Callable[[np.ndarray], np.ndarray]:
+        """Draw a dense Gaussian rotation; hash to its closest vertex."""
         rng = ensure_rng(rng)
         matrix = rng.standard_normal((self.d, self.d))
 
@@ -85,7 +88,7 @@ class FastCrossPolytope(SymmetricFamily):
         the next power of two).
     """
 
-    def __init__(self, d: int):
+    def __init__(self, d: int) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         self.d = int(d)
@@ -93,7 +96,8 @@ class FastCrossPolytope(SymmetricFamily):
         while self.padded < d:
             self.padded *= 2
 
-    def sample_function(self, rng: np.random.Generator):
+    def sample_function(self, rng: np.random.Generator) -> Callable[[np.ndarray], np.ndarray]:
+        """Draw the three sign diagonals of the H D3 H D2 H D1 rotation."""
         rng = ensure_rng(rng)
         diagonals = rng.choice(np.array([-1.0, 1.0]), size=(3, self.padded))
         scale = 1.0 / np.sqrt(self.padded)

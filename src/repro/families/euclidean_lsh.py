@@ -114,7 +114,7 @@ def log_shifted_collision_probability(delta: float, k: int, w: float) -> float:
 class ShiftedEuclideanCPF(CPF):
     """Analytic CPF of :class:`ShiftedGaussianProjection` (distance arg)."""
 
-    def __init__(self, k: int, w: float):
+    def __init__(self, k: int, w: float) -> None:
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
         check_positive(w, "w")
@@ -140,7 +140,7 @@ class ShiftedGaussianProjection(DSHFamily):
         al. [23], ``k >= 1`` gives the unimodal anti-LSH of Figure 1.
     """
 
-    def __init__(self, d: int, w: float, k: int = 0):
+    def __init__(self, d: int, w: float, k: int = 0) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         check_positive(w, "w")
@@ -151,6 +151,7 @@ class ShiftedGaussianProjection(DSHFamily):
         self.k = int(k)
 
     def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        """Draw one random-projection bucket pair, query side shifted by ``k``."""
         rng = ensure_rng(rng)
         a = rng.standard_normal(self.d)
         b = float(rng.uniform(0.0, self.w))
@@ -170,10 +171,12 @@ class ShiftedGaussianProjection(DSHFamily):
 
     @property
     def cpf(self) -> CPF:
+        """The shifted-collision CPF in the distance argument."""
         return ShiftedEuclideanCPF(self.k, self.w)
 
     @property
     def is_symmetric(self) -> bool:
+        """Symmetric exactly when the query shift ``k`` is zero."""
         return self.k == 0
 
 

@@ -165,7 +165,7 @@ def log_filter_collision_probability(
 class GaussianFilterCPF(CPF):
     """Analytic CPF of the Gaussian filter family (similarity argument)."""
 
-    def __init__(self, t: float, m: int | None = None, negated: bool = False):
+    def __init__(self, t: float, m: int | None = None, negated: bool = False) -> None:
         check_positive(t, "t")
         if m is None:
             m = default_num_projections(t)
@@ -216,7 +216,7 @@ class GaussianFilterFamily(DSHFamily):
     from the stored seed during evaluation and stopping at the first hit.
     """
 
-    def __init__(self, d: int, t: float, m: int | None = None, negated: bool = False):
+    def __init__(self, d: int, t: float, m: int | None = None, negated: bool = False) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         check_positive(t, "t")
@@ -238,7 +238,7 @@ class GaussianFilterFamily(DSHFamily):
         n = pts.shape[0]
         result = np.full(n, self.m, dtype=np.int64)
         unresolved = np.arange(n)
-        gen = np.random.default_rng(seed)
+        gen = ensure_rng(seed)
         offset = 0
         while offset < self.m and unresolved.size:
             k = min(_CHUNK, self.m - offset)
@@ -254,6 +254,7 @@ class GaussianFilterFamily(DSHFamily):
         return result
 
     def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        """Draw one filter pair; projections replay from a stored seed."""
         rng = ensure_rng(rng)
         seed = int(rng.integers(0, 2**63 - 1))
         query_mode = "le" if self.negated else "ge"
@@ -272,6 +273,7 @@ class GaussianFilterFamily(DSHFamily):
 
     @property
     def cpf(self) -> CPF:
+        """The exact analytic filter CPF (Appendix A.1 closed form)."""
         return GaussianFilterCPF(self.t, self.m, self.negated)
 
 

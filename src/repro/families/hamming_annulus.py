@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.combinators import ConcatenatedFamily
 from repro.core.cpf import CPF, LambdaCPF
-from repro.core.family import DSHFamily
+from repro.core.family import DSHFamily, HashPair
 from repro.families.bit_sampling import AntiBitSampling, BitSampling
 from repro.utils.validation import check_in_open_interval
 
@@ -66,7 +66,7 @@ class HammingAnnulusFamily(DSHFamily):
         usual).
     """
 
-    def __init__(self, d: int, peak: float, k2: int = 4):
+    def __init__(self, d: int, peak: float, k2: int = 4) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         self.d = int(d)
@@ -76,9 +76,13 @@ class HammingAnnulusFamily(DSHFamily):
         parts += [AntiBitSampling(d)] * self.k2
         self._inner = ConcatenatedFamily(parts)
 
-    def sample(self, rng=None):
+    def sample(
+        self, rng: int | np.random.Generator | None = None
+    ) -> HashPair:
+        """Draw the concatenated bit/anti-bit sampling pair."""
         return self._inner.sample(rng)
 
     @property
     def cpf(self) -> CPF:
+        """The unimodal polynomial CPF ``(1-t)^k1 t^k2``."""
         return hamming_annulus_cpf(self.k1, self.k2)

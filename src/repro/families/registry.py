@@ -38,6 +38,11 @@ from repro.families.step import design_step_family
 __all__ = [
     "FamilyEntry",
     "FAMILY_REGISTRY",
+    "DimParams",
+    "EuclideanLSHParams",
+    "AnnulusSphereParams",
+    "HammingAnnulusParams",
+    "StepEuclideanParams",
     "register_family",
     "family_names",
     "family_entry",
@@ -146,6 +151,7 @@ class FamilyEntry:
     description: str = ""
 
     def make(self, params: Any) -> DSHFamily:
+        """Construct the family from a validated parameter instance."""
         return self.build(params)
 
 

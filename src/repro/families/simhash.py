@@ -11,6 +11,8 @@ polynomial CPFs of Figure 4.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.core.cpf import CPF, SimHashCPF
@@ -35,12 +37,13 @@ class SimHash(SymmetricFamily):
     required (SimHash only sees directions).
     """
 
-    def __init__(self, d: int):
+    def __init__(self, d: int) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         self.d = int(d)
 
-    def sample_function(self, rng: np.random.Generator):
+    def sample_function(self, rng: np.random.Generator) -> Callable[[np.ndarray], np.ndarray]:
+        """Draw a Gaussian normal vector; hash to its halfspace sign."""
         rng = ensure_rng(rng)
         a = rng.standard_normal(self.d)
 
@@ -54,4 +57,5 @@ class SimHash(SymmetricFamily):
 
     @property
     def cpf(self) -> CPF:
+        """The angular CPF ``1 - arccos(alpha)/pi``."""
         return SimHashCPF()

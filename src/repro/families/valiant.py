@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.combinators import TransformedFamily
 from repro.core.cpf import CPF, LambdaCPF, SimHashCPF
-from repro.core.family import DSHFamily
+from repro.core.family import DSHFamily, HashPair
 from repro.families.simhash import SimHash
 from repro.spaces.embeddings import TensorSketchEmbedding, ValiantEmbedding
 
@@ -80,7 +80,7 @@ class PolynomialSphereFamily(DSHFamily):
         angular_family_factory: Callable[[int], DSHFamily] | None = None,
         sketch_dim: int | None = None,
         rng: int | np.random.Generator | None = None,
-    ):
+    ) -> None:
         self.coefficients = np.asarray(coefficients, dtype=np.float64).ravel()
         self.d = int(d)
         if sketch_dim is None:
@@ -105,11 +105,17 @@ class PolynomialSphereFamily(DSHFamily):
             cpf=polynomial_sphere_cpf(self.coefficients, angular_cpf),
         )
 
-    def sample(self, rng: int | np.random.Generator | None = None):
+    def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        """Draw one hash pair from the embedded angular family."""
         return self._inner.sample(rng)
 
     @property
     def cpf(self) -> CPF:
+        """The composed polynomial-of-angular CPF (set in ``__init__``)."""
         cpf = self._inner.cpf
-        assert cpf is not None  # set in __init__
+        if cpf is None:  # pragma: no cover - set unconditionally in __init__
+            raise RuntimeError(
+                "TransformedFamily lost its CPF; PolynomialSphereFamily "
+                "always constructs it in __init__"
+            )
         return cpf

@@ -39,6 +39,7 @@ __all__ = [
     "AnnulusIndex",
     "sphere_annulus_index",
     "sphere_family_for_interval",
+    "sphere_peak_placement",
 ]
 
 
@@ -119,7 +120,7 @@ class AnnulusIndex:
         rng: int | np.random.Generator | None = None,
         backend: str | IndexBackend = "packed",
         workers: int | None = None,
-    ):
+    ) -> None:
         lo, hi = interval
         if not lo < hi:
             raise ValueError(f"interval must satisfy lo < hi, got {interval}")

@@ -30,7 +30,7 @@ from __future__ import annotations
 import pathlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Mapping, NamedTuple
+from typing import Iterable, Mapping, NamedTuple
 
 import numpy as np
 
@@ -44,6 +44,8 @@ __all__ = [
     "DictBackend",
     "PackedBackend",
     "make_backend",
+    "budget_truncation",
+    "first_seen_dedup",
     "clip_batch_hits",
     "BACKENDS",
 ]
@@ -140,6 +142,7 @@ class BatchHits:
 
     @property
     def n_queries(self) -> int:
+        """Number of query segments in this block."""
         return self.offsets.size - 1
 
     @property
@@ -395,7 +398,9 @@ class IndexBackend(ABC):
         return CandidateResult(ordered, stats)
 
     def query(
-        self, comps, max_retrieved: int | None = None
+        self,
+        comps: Iterable[np.ndarray],
+        max_retrieved: int | None = None,
     ) -> CandidateResult:
         """Single-query probe.  ``comps`` may be any iterable of per-table
         ``(1, c)`` component rows and is consumed lazily, so a truncating
@@ -485,6 +490,7 @@ class DictBackend(IndexBackend):
         self._tables: list[dict[bytes, list[int]]] = []
 
     def build(self, tables: list[np.ndarray]) -> None:
+        """Bucket each table's component rows by exact serialized key."""
         self._tables = []
         for comps in tables:
             table: dict[bytes, list[int]] = {}
@@ -493,15 +499,18 @@ class DictBackend(IndexBackend):
             self._tables.append(table)
 
     def bucket(self, table: int, components: np.ndarray) -> np.ndarray:
+        """Exact-key lookup; always returns an int64 id array."""
         key = rows_to_keys(components)[0]
         return np.asarray(self._tables[table].get(key, []), dtype=np.int64)
 
     def bucket_sizes(self) -> list[int]:
+        """All bucket sizes across tables (for load diagnostics)."""
         return [len(bucket) for table in self._tables for bucket in table.values()]
 
     def batch_query(
         self, comps: list[np.ndarray], max_retrieved: int | None = None
     ) -> list[CandidateResult]:
+        """Per-query reference ``_scan`` over precomputed key rows."""
         per_table_keys = [rows_to_keys(c) for c in comps]
         n_queries = len(per_table_keys[0]) if per_table_keys else 0
         return [
@@ -549,7 +558,8 @@ class DictBackend(IndexBackend):
             ),
         }
 
-    def import_arrays(self, arrays) -> None:
+    def import_arrays(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Rebuild identical per-table dicts from the flattened payload."""
         key_bytes = np.asarray(arrays["key_bytes"], dtype=np.uint8).tobytes()
         key_widths = np.asarray(arrays["key_widths"], dtype=np.int64)
         table_buckets = np.asarray(arrays["table_buckets"], dtype=np.int64)
@@ -595,6 +605,7 @@ class PackedBackend(IndexBackend):
         self._n_points = 0
 
     def build(self, tables: list[np.ndarray]) -> None:
+        """Fingerprint, sort, and pack each table into the CSR layout."""
         self._n_points = tables[0].shape[0] if tables else 0
         # Narrow point ids to int32 when they fit — halves the memory
         # traffic of the query-time gather and dedup passes.
@@ -624,6 +635,7 @@ class PackedBackend(IndexBackend):
         )
 
     def bucket(self, table: int, components: np.ndarray) -> np.ndarray:
+        """Fingerprint ``searchsorted`` lookup; widens ids to int64."""
         unique = self._unique[table]
         if unique.size == 0:
             return np.empty(0, dtype=np.int64)
@@ -639,6 +651,7 @@ class PackedBackend(IndexBackend):
         return np.asarray(self._ids[lo:hi], dtype=np.int64)
 
     def bucket_sizes(self) -> list[int]:
+        """All bucket sizes across tables (for load diagnostics)."""
         return [
             int(size)
             for offsets in self._offsets
@@ -671,7 +684,7 @@ class PackedBackend(IndexBackend):
             "n_points": np.asarray([self._n_points], dtype=np.int64),
         }
 
-    def import_arrays(self, arrays) -> None:
+    def import_arrays(self, arrays: Mapping[str, np.ndarray]) -> None:
         """Rebind the CSR arrays from a payload without copying: per-table
         views are slices of the (possibly memory-mapped) concatenated
         arrays, so loading is O(L) header work regardless of ``n``."""
@@ -736,6 +749,7 @@ class PackedBackend(IndexBackend):
     def batch_query(
         self, comps: list[np.ndarray], max_retrieved: int | None = None
     ) -> list[CandidateResult]:
+        """Vectorized probe: one lookup + gather, then per-query dedup."""
         n_tables = len(comps)
         starts, counts = self._lookup(comps)
         n_queries = counts.shape[1]

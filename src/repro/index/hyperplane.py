@@ -68,7 +68,7 @@ class HyperplaneIndex:
         rng: int | np.random.Generator | None = None,
         backend: str | IndexBackend = "packed",
         workers: int | None = None,
-    ):
+    ) -> None:
         check_in_open_interval(alpha, 0.0, 1.0, "alpha")
         self.alpha = float(alpha)
         self._annulus: AnnulusIndex = sphere_annulus_index(

@@ -31,6 +31,11 @@ import zipfile
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - lazy cycle with backends.save()
+    from repro.index.backends import IndexBackend
+
 __all__ = [
     "FORMAT_VERSION",
     "write_arrays",
@@ -173,7 +178,7 @@ def read_arrays(
     return out
 
 
-def save_backend(backend, path: str | pathlib.Path) -> pathlib.Path:
+def save_backend(backend: IndexBackend, path: str | pathlib.Path) -> pathlib.Path:
     """Persist a built :class:`~repro.index.backends.IndexBackend` to one
     self-describing ``.npz`` (backend name + format version travel inside
     the archive)."""
@@ -188,7 +193,7 @@ def save_backend(backend, path: str | pathlib.Path) -> pathlib.Path:
     return write_arrays(path, arrays)
 
 
-def load_backend(path: str | pathlib.Path, mmap: bool = True):
+def load_backend(path: str | pathlib.Path, mmap: bool = True) -> IndexBackend:
     """Load a :func:`save_backend` bundle back into a fresh, unattached
     backend instance of the recorded type."""
     from repro.index.backends import BACKENDS

@@ -22,7 +22,7 @@ the same ``.stats`` contract.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Protocol, runtime_checkable
+from typing import Any, Iterable, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -60,10 +60,14 @@ class Queryable(Protocol):
     query row, element-for-element identical to a ``query`` loop.
     """
 
-    def query(self, query_point: np.ndarray):  # pragma: no cover - protocol
+    def query(
+        self, query_point: np.ndarray
+    ) -> Any:  # pragma: no cover - protocol
+        """One query point → one ``.stats``-carrying result."""
         ...
 
     def batch_query(
         self, query_points: np.ndarray
-    ) -> Iterable:  # pragma: no cover - protocol
+    ) -> Iterable[Any]:  # pragma: no cover - protocol
+        """``(n, d)`` query block → one result per row, loop-identical."""
         ...

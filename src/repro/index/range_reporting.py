@@ -64,6 +64,8 @@ class RangeReport(QueryResult):
 
     @property
     def retrievals_per_report(self) -> float:
+        """In-range retrievals amortized over reported points (Theorem 6.5
+        charges ``O(f_max / f_min)`` per report)."""
         return self.in_range_retrievals / max(1, len(self.indices))
 
     @property
@@ -112,7 +114,7 @@ class RangeReportingIndex:
         rng: int | np.random.Generator | None = None,
         backend: str | IndexBackend = "packed",
         workers: int | None = None,
-    ):
+    ) -> None:
         if r_report <= 0:
             raise ValueError(f"r_report must be positive, got {r_report}")
         self.points = np.atleast_2d(np.asarray(points, dtype=np.float64))

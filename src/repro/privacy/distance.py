@@ -193,7 +193,7 @@ class PrivateDistanceEstimator:
 
     def __init__(
         self, design: ProtocolDesign, rng: int | np.random.Generator | None = None
-    ):
+    ) -> None:
         self.design = design
         rng = ensure_rng(rng)
         self._pairs: list[HashPair] = design.family.sample_pairs(

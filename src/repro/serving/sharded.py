@@ -56,6 +56,10 @@ import pathlib
 import pickle
 import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api builds us)
+    from repro.api import IndexSpec
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
@@ -367,7 +371,13 @@ class ShardedIndex:
         NumPy-bound); ``None`` builds serially.
     """
 
-    def __init__(self, points: np.ndarray, spec, *, build_workers: int | None = None):
+    def __init__(
+        self,
+        points: np.ndarray,
+        spec: IndexSpec,
+        *,
+        build_workers: int | None = None,
+    ) -> None:
         if spec.kind != "raw":
             raise ValueError(
                 f"ShardedIndex requires kind='raw', got {spec.kind!r}"
@@ -689,5 +699,5 @@ class ShardedIndex:
     def __enter__(self) -> "ShardedIndex":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

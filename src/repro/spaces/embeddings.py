@@ -106,7 +106,7 @@ class ValiantEmbedding:
     exploits.
     """
 
-    def __init__(self, coefficients: np.ndarray, d: int):
+    def __init__(self, coefficients: np.ndarray, d: int) -> None:
         self.coefficients = _check_coefficients(coefficients)
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
@@ -155,12 +155,13 @@ class ValiantEmbedding:
 class _CountSketch:
     """A single CountSketch ``R^d -> R^m`` (hash bucket + sign per coordinate)."""
 
-    def __init__(self, d: int, m: int, rng: np.random.Generator):
+    def __init__(self, d: int, m: int, rng: np.random.Generator) -> None:
         self.buckets = rng.integers(0, m, size=d)
         self.signs = rng.choice(np.array([-1.0, 1.0]), size=d)
         self.m = m
 
     def apply(self, points: np.ndarray) -> np.ndarray:
+        """Signed feature hashing: scatter-add each coordinate into its bucket."""
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         n = points.shape[0]
         out = np.zeros((n, self.m))
@@ -197,7 +198,7 @@ class TensorSketchEmbedding:
         d: int,
         sketch_dim: int = 256,
         rng: int | np.random.Generator | None = None,
-    ):
+    ) -> None:
         self.coefficients = _check_coefficients(coefficients)
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")

@@ -84,7 +84,7 @@ class StableRandomFeatures:
         s: float = 2.0,
         scale: float = 1.0,
         rng: int | np.random.Generator | None = None,
-    ):
+    ) -> None:
         if d < 1 or m < 1:
             raise ValueError(f"d and m must be >= 1, got d={d}, m={m}")
         if not 0.0 < s <= 2.0:

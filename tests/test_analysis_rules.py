@@ -1,0 +1,297 @@
+"""The invariant linter: one good/bad fixture pair per rule, the
+suppression/baseline machinery, the CLI contract, and the self-check
+that ``src/`` itself is violation-free against the committed (empty)
+baseline."""
+
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    RULES_BY_ID,
+    SourceFile,
+    load_baseline,
+    main,
+    run_source,
+    write_baseline,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def lint(text: str, path: str = "pkg/mod.py", select: str | None = None):
+    """Run the registry (or one rule) over an in-memory module."""
+    rules = [RULES_BY_ID[select]] if select else list(ALL_RULES)
+    return run_source(SourceFile(path, text), rules)
+
+
+def codes(violations) -> list[str]:
+    return [v.rule for v in violations]
+
+
+# ---------------------------------------------------------------------------
+# RR001 rng-discipline
+# ---------------------------------------------------------------------------
+
+
+def test_rr001_flags_legacy_module_state_rng():
+    bad = "import numpy as np\nx = np.random.rand(3)\n"
+    assert codes(lint(bad, select="RR001")) == ["RR001"]
+
+
+def test_rr001_flags_unseeded_default_rng_outside_rng_module():
+    bad = "import numpy as np\ngen = np.random.default_rng(7)\n"
+    assert codes(lint(bad, select="RR001")) == ["RR001"]
+
+
+def test_rr001_good_uses_ensure_rng_and_rng_module_is_exempt():
+    good = (
+        "from repro.utils.rng import ensure_rng\n"
+        "gen = ensure_rng(7)\n"
+        "x = gen.standard_normal(3)\n"
+    )
+    assert lint(good, select="RR001") == []
+    # The sanctioned construction site may call default_rng directly.
+    sanctioned = "import numpy as np\ngen = np.random.default_rng(s)\n"
+    assert lint(sanctioned, path="src/repro/utils/rng.py", select="RR001") == []
+
+
+def test_rr001_sees_through_import_aliases():
+    bad = "from numpy import random as nr\nnr.shuffle(x)\n"
+    assert codes(lint(bad, select="RR001")) == ["RR001"]
+
+
+# ---------------------------------------------------------------------------
+# RR002 dtype-contract
+# ---------------------------------------------------------------------------
+
+
+def test_rr002_flags_id_narrowing_outside_sanctioned_site():
+    bad = "import numpy as np\nids = raw_ids.astype(np.int32)\n"
+    assert codes(lint(bad, select="RR002")) == ["RR002"]
+
+
+def test_rr002_flags_narrow_fingerprint_dtype_kwarg():
+    bad = "import numpy as np\nfps = np.zeros(4, dtype=np.uint32)\n"
+    assert codes(lint(bad, select="RR002")) == ["RR002"]
+
+
+def test_rr002_good_wide_dtypes_and_sanctioned_build():
+    good = (
+        "import numpy as np\n"
+        "ids = raw_ids.astype(np.int64)\n"
+        "fps = np.zeros(4, dtype=np.uint64)\n"
+    )
+    assert lint(good, select="RR002") == []
+    sanctioned = (
+        "import numpy as np\n"
+        "class PackedBackend:\n"
+        "    def build(self, tables):\n"
+        "        ids = raw_ids.astype(np.int32)\n"
+    )
+    assert (
+        lint(sanctioned, path="src/repro/index/backends.py", select="RR002")
+        == []
+    )
+
+
+# ---------------------------------------------------------------------------
+# RR003 transport-hygiene
+# ---------------------------------------------------------------------------
+
+
+def test_rr003_flags_pickle_import_outside_transport_layer():
+    assert codes(lint("import pickle\n", select="RR003")) == ["RR003"]
+    assert codes(
+        lint("from multiprocessing import shared_memory\n", select="RR003")
+    ) == ["RR003"]
+
+
+def test_rr003_good_in_serving_and_persistence():
+    text = "import pickle\nfrom multiprocessing import shared_memory\n"
+    assert lint(text, path="src/repro/serving/sharded.py", select="RR003") == []
+    assert (
+        lint(text, path="src/repro/index/persistence.py", select="RR003") == []
+    )
+
+
+# ---------------------------------------------------------------------------
+# RR004 api-surface
+# ---------------------------------------------------------------------------
+
+
+def test_rr004_flags_drifted_all_and_bare_public_function():
+    bad = (
+        '__all__ = ["ghost"]\n'
+        "def helper(x):\n"
+        '    """Doc."""\n'
+        "    return x\n"
+    )
+    found = codes(lint(bad, select="RR004"))
+    # ghost is undefined; helper is unexported and unannotated.
+    assert found.count("RR004") >= 3
+
+
+def test_rr004_good_exported_annotated_documented():
+    good = (
+        '__all__ = ["helper"]\n'
+        "def helper(x: int) -> int:\n"
+        '    """Doc."""\n'
+        "    return x\n"
+    )
+    assert lint(good, select="RR004") == []
+
+
+# ---------------------------------------------------------------------------
+# RR005 no-assert / no-mutable-default
+# ---------------------------------------------------------------------------
+
+
+def test_rr005_flags_assert_and_mutable_default():
+    bad = (
+        "def f(xs=[]):\n"
+        '    """Doc."""\n'
+        "    assert xs\n"
+        "    return xs\n"
+    )
+    assert codes(lint(bad, select="RR005")) == ["RR005", "RR005"]
+
+
+def test_rr005_good_none_default_and_raise():
+    good = (
+        "def f(xs=None):\n"
+        '    """Doc."""\n'
+        "    if not xs:\n"
+        '        raise ValueError("empty")\n'
+        "    return xs\n"
+    )
+    assert lint(good, select="RR005") == []
+
+
+# ---------------------------------------------------------------------------
+# RR006 clip-discipline
+# ---------------------------------------------------------------------------
+
+
+def test_rr006_flags_direct_hit_array_slicing():
+    bad = "def f(block, budget):\n    return block.hits[:budget]\n"
+    assert codes(lint(bad, select="RR006")) == ["RR006"]
+
+
+def test_rr006_good_inside_clip_batch_hits():
+    good = (
+        "def clip_batch_hits(block, budget):\n"
+        "    return block.hits[:budget]\n"
+    )
+    assert lint(good, select="RR006") == []
+
+
+# ---------------------------------------------------------------------------
+# Suppression and baseline machinery
+# ---------------------------------------------------------------------------
+
+
+def test_noqa_blanket_and_coded_suppression():
+    assert lint("import pickle  # noqa\n", select="RR003") == []
+    assert lint("import pickle  # noqa: RR003\n", select="RR003") == []
+    # A noqa for a *different* rule does not suppress.
+    assert codes(lint("import pickle  # noqa: RR001\n", select="RR003")) == [
+        "RR003"
+    ]
+
+
+def test_baseline_partition_is_line_insensitive(tmp_path):
+    violations = lint("import pickle\n", select="RR003")
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, violations)
+    # Same violation on a different line still matches the baseline.
+    shifted = lint("\n\nimport pickle\n", select="RR003")
+    new, baselined, stale = load_baseline(baseline_file).partition(shifted)
+    assert new == [] and len(baselined) == 1 and stale == 0
+    # A clean run reports the baseline entry as stale.
+    new, baselined, stale = load_baseline(baseline_file).partition([])
+    assert new == [] and baselined == [] and stale == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI contract
+# ---------------------------------------------------------------------------
+
+
+def test_cli_exit_codes_and_json_report(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x: int = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import pickle\n")
+    baseline = tmp_path / "baseline.json"
+
+    assert main([str(clean), "--baseline", str(baseline)]) == 0
+    assert main([str(dirty), "--baseline", str(baseline)]) == 1
+    capsys.readouterr()
+
+    code = main(
+        [str(dirty), "--baseline", str(baseline), "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["files_checked"] == 1
+    assert [v["rule"] for v in payload["violations"]] == ["RR003"]
+    assert {r["id"] for r in payload["rules"]} == set(RULES_BY_ID)
+
+    # Adopting the baseline turns the same tree green.
+    assert main([str(dirty), "--baseline", str(baseline), "--write-baseline"]) == 0
+    assert main([str(dirty), "--baseline", str(baseline)]) == 0
+
+    assert main(["--select", "RRXXX", str(clean)]) == 2
+    assert main([str(tmp_path / "missing_dir")]) == 2
+
+
+def test_cli_reports_parse_errors_as_failures(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    assert main([str(broken), "--baseline", str(tmp_path / "b.json")]) == 1
+    assert "parse error" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Self-check: the repo holds its own bar
+# ---------------------------------------------------------------------------
+
+
+def test_committed_baseline_is_empty():
+    baseline = load_baseline(REPO_ROOT / "analysis_baseline.json")
+    assert len(baseline) == 0
+
+
+def test_src_is_violation_free():
+    code = main(
+        [
+            str(REPO_ROOT / "src"),
+            "--baseline",
+            str(REPO_ROOT / "analysis_baseline.json"),
+        ]
+    )
+    assert code == 0
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict_gate():
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--config-file",
+            str(REPO_ROOT / "mypy.ini"),
+            str(REPO_ROOT / "src" / "repro"),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
