@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.analysis.engine import Rule
 from repro.analysis.rules.api_surface import ApiSurfaceRule
+from repro.analysis.rules.broad_except import BroadExceptRule
 from repro.analysis.rules.clip_discipline import ClipDisciplineRule
 from repro.analysis.rules.dtype_contract import DtypeContractRule
 from repro.analysis.rules.hygiene import HygieneRule
@@ -20,6 +21,7 @@ __all__ = [
     "ALL_RULES",
     "RULES_BY_ID",
     "ApiSurfaceRule",
+    "BroadExceptRule",
     "ClipDisciplineRule",
     "DtypeContractRule",
     "HygieneRule",
@@ -34,6 +36,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ApiSurfaceRule(),
     HygieneRule(),
     ClipDisciplineRule(),
+    BroadExceptRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -68,18 +68,28 @@ from repro.index.annulus import (
 from repro.index.backends import BACKENDS
 from repro.index.hyperplane import HyperplaneIndex
 from repro.index.lsh_index import DSHIndex
-from repro.index.persistence import FORMAT_VERSION, read_arrays, write_arrays
+from repro.index.persistence import (
+    FORMAT_VERSION,
+    IndexIntegrityError,
+    classify_archive_error,
+    integrity_record,
+    read_arrays,
+    verify_integrity,
+    write_arrays,
+)
 from repro.index.queryable import Queryable
 from repro.index.range_reporting import RangeReportingIndex
 
 __all__ = [
     "PROXIMITIES",
     "IndexSpec",
+    "IndexIntegrityError",
     "build_index",
     "register_proximity",
     "index_paths",
     "save_index",
     "load_index",
+    "verify_saved_index",
 ]
 
 SPEC_VERSION = 1
@@ -581,6 +591,7 @@ def save_index(index: Queryable, path: str | pathlib.Path) -> pathlib.Path:
         "pair_rng_state": inner.pair_rng_state,
         "n_points": int(inner.n_points),
         "dim": int(inner.dim),
+        "integrity": integrity_record(npz_path, arrays),
     }
     json_path.write_text(json.dumps(sidecar, indent=2))
     return json_path
@@ -646,10 +657,67 @@ def _revive(spec: IndexSpec, sidecar: dict, arrays: dict):
     )
 
 
+def _check_sidecar_format(sidecar: dict, json_path: pathlib.Path) -> None:
+    """Shared format-version gate for sidecars and shard manifests."""
+    version = sidecar.get("format")
+    if version != FORMAT_VERSION:
+        raise IndexIntegrityError(
+            f"unsupported index format {version!r} (this build reads "
+            f"format {FORMAT_VERSION})",
+            kind="manifest",
+        )
+
+
+def _read_arrays_checked(
+    npz_path: pathlib.Path, mmap: bool
+) -> dict[str, np.ndarray]:
+    """``read_arrays`` with unreadable-archive errors classified: a
+    bundle that cannot even be parsed is a damaged copy, and the caller
+    deserves :class:`IndexIntegrityError` (``kind`` separating member
+    CRC failures from truncation), not a zipfile internal."""
+    import zipfile
+
+    try:
+        return read_arrays(npz_path, mmap=mmap)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError, KeyError) as exc:
+        raise classify_archive_error(npz_path, exc) from exc
+
+
+def verify_saved_index(
+    path: str | pathlib.Path, *, verify: str = "eager"
+) -> None:
+    """Integrity-probe a saved index without reviving it.
+
+    For a single-index save: checks the sidecar format and runs
+    :func:`repro.index.persistence.verify_integrity` at the requested
+    level (``"eager"`` re-checksums every member; ``"lazy"`` is the O(1)
+    size/structure check; ``"off"`` only validates the format version).
+    For a sharded manifest: validates manifest coherence (shard count,
+    bounds) and probes every shard file recursively.  Raises
+    :class:`IndexIntegrityError` (or :class:`FileNotFoundError` for
+    missing files) on the first problem; returns ``None`` when healthy.
+    """
+    npz_path, json_path = index_paths(path)
+    sidecar = json.loads(json_path.read_text())
+    _check_sidecar_format(sidecar, json_path)
+    if sidecar.get("layout") == "sharded":
+        from repro.serving.sharded import check_manifest_coherence
+
+        shard_names = check_manifest_coherence(sidecar, json_path)
+        for name in shard_names:
+            verify_saved_index(json_path.parent / name, verify=verify)
+        return
+    verify_integrity(npz_path, sidecar.get("integrity"), mode=verify)
+
+
 def load_index(
     path: str | pathlib.Path,
     mmap: bool = True,
     workers: int | None = None,
+    verify: str = "lazy",
+    on_shard_failure: str = "raise",
 ) -> Queryable:
     """Revive a :func:`save_index` index — zero-copy, O(1) in ``n``.
 
@@ -659,6 +727,17 @@ def load_index(
     hash evaluations, and concurrent serving processes share the pages.
     The loaded index answers every query byte-identically to the original
     (same candidates, same order, same stats).
+
+    ``verify`` selects the integrity level the bundle is held to:
+    ``"lazy"`` (default) runs the O(1) structural checks — recorded file
+    size, readable archive — catching truncated or partially-copied
+    bundles without sacrificing the O(1) cold start; ``"eager"``
+    additionally re-checksums every member against the sidecar's CRC-32
+    records (reads all bytes — use for untrusted replicas); ``"off"``
+    skips both.  Failures raise
+    :class:`~repro.index.persistence.IndexIntegrityError` whose ``kind``
+    distinguishes truncation, checksum mismatch, and manifest skew.
+    Bundles saved before checksums existed load under every mode.
 
     A sharded save (``ShardedIndex.save`` / a spec with ``shards > 1``)
     is detected from the sidecar and dispatched to
@@ -670,26 +749,41 @@ def load_index(
     shared-memory segments rather than the executor pipe (see
     :mod:`repro.serving.sharded`).  Pool workers cache each shard by
     ``(path, mtime_ns, size)``, so re-saving a shard file in place is
-    picked up on the next request.
+    picked up on the next request.  ``on_shard_failure`` (sharded pool
+    serving only) selects what ``batch_query`` does once a shard's
+    retries are exhausted: ``"raise"`` propagates the failure,
+    ``"degrade"`` serves the surviving shards' exact merge with
+    ``QueryStats.degraded=True`` and the failure recorded in
+    ``ShardedIndex.last_health``.
     """
     npz_path, json_path = index_paths(path)
     sidecar = json.loads(json_path.read_text())
-    version = sidecar.get("format")
-    if version != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported index format {version!r} (this build reads "
-            f"format {FORMAT_VERSION})"
-        )
+    _check_sidecar_format(sidecar, json_path)
     if sidecar.get("layout") == "sharded":
         from repro.serving.sharded import ShardedIndex
 
-        return ShardedIndex.load(path, workers=workers, mmap=mmap)
+        return ShardedIndex.load(
+            path,
+            workers=workers,
+            mmap=mmap,
+            verify=verify,
+            on_shard_failure=on_shard_failure,
+        )
     if workers is not None:
         raise ValueError(
             "workers= applies to sharded indexes only; this file holds a "
             "single index"
         )
+    if on_shard_failure != "raise":
+        raise ValueError(
+            "on_shard_failure= applies to sharded indexes only; this "
+            "file holds a single index"
+        )
     spec = IndexSpec.from_dict(sidecar["spec"])
-    index = _revive(spec, sidecar, read_arrays(npz_path, mmap=mmap))
+    arrays = _read_arrays_checked(npz_path, mmap=mmap)
+    verify_integrity(
+        npz_path, sidecar.get("integrity"), mode=verify, arrays=arrays
+    )
+    index = _revive(spec, sidecar, arrays)
     index.spec = spec
     return index

@@ -66,12 +66,19 @@ class QueryStats:
         Tables inspected before termination (== L unless stopped early).
     truncated:
         Whether an early-termination candidate budget stopped the scan.
+    degraded:
+        Whether the result was served in degraded mode — one or more
+        shards of a :class:`~repro.serving.sharded.ShardedIndex` failed
+        and only the surviving shards contributed (exactly).  Always
+        ``False`` for single-index queries and healthy sharded serving;
+        the failed-shard list rides in ``ShardedIndex.last_health``.
     """
 
     retrieved: int = 0
     unique_candidates: int = 0
     tables_probed: int = 0
     truncated: bool = False
+    degraded: bool = False
 
     @property
     def duplicates(self) -> int:

@@ -19,6 +19,22 @@ which is what makes multi-worker sharded serving cheap.
 
 Compressed or otherwise non-mappable members fall back to an in-memory
 read, so the function degrades gracefully on foreign archives.
+
+Integrity
+---------
+A serving fleet replicates these bundles over networks and disks that
+*do* flip bits and truncate files, so the module also owns the integrity
+vocabulary: :func:`checksum_arrays` computes the per-member CRC-32
+records :func:`repro.api.save_index` embeds in the JSON sidecar, and
+:func:`verify_integrity` checks a bundle against them under three modes
+— ``"eager"`` (every member's bytes re-checksummed), ``"lazy"`` (cheap
+structural checks: recorded file size, catches truncation without
+touching data pages), ``"off"``.  All failures raise
+:class:`IndexIntegrityError`, whose ``kind`` distinguishes ``"truncated"``
+(missing bytes / unreadable archive), ``"checksum"`` (content mismatch),
+and ``"manifest"`` (schema skew: missing members, wrong dtype/shape,
+inconsistent shard manifests).  Bundles saved before checksums existed
+carry no integrity record and still load under every mode.
 """
 
 from __future__ import annotations
@@ -28,18 +44,25 @@ import os
 import pathlib
 import tempfile
 import zipfile
+import zlib
 
 import numpy as np
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - lazy cycle with backends.save()
     from repro.index.backends import IndexBackend
 
 __all__ = [
     "FORMAT_VERSION",
+    "VERIFY_MODES",
+    "IndexIntegrityError",
+    "classify_archive_error",
     "write_arrays",
     "read_arrays",
+    "checksum_arrays",
+    "integrity_record",
+    "verify_integrity",
     "save_backend",
     "load_backend",
 ]
@@ -47,6 +70,177 @@ __all__ = [
 #: On-disk format version for backend/index array bundles.  Bump on any
 #: incompatible change to the array layout or sidecar schema.
 FORMAT_VERSION = 1
+
+#: Accepted values for the ``verify=`` parameter of
+#: :func:`repro.api.load_index` / :func:`verify_integrity`.
+VERIFY_MODES = ("eager", "lazy", "off")
+
+
+class IndexIntegrityError(ValueError):
+    """A persisted index bundle failed an integrity check.
+
+    ``kind`` classifies the failure so operators can route it without
+    parsing messages:
+
+    * ``"truncated"`` — the file is shorter than recorded or the archive
+      is structurally unreadable (partial copy, interrupted write);
+    * ``"checksum"`` — a member's bytes do not match its recorded CRC-32
+      (bit rot, in-place corruption);
+    * ``"manifest"`` — the bundle and its manifest/sidecar disagree
+      (missing member, dtype/shape skew, shard-count mismatch).
+
+    Subclasses :class:`ValueError` so pre-integrity callers that caught
+    broad load errors keep working.
+    """
+
+    def __init__(self, message: str, *, kind: str = "checksum") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+    def __reduce__(
+        self,
+    ) -> tuple[type["IndexIntegrityError"], tuple[str], dict[str, str]]:
+        """Pickle support: integrity errors raised inside pool workers
+        must cross the executor pipe intact (message *and* ``kind``)."""
+        return (type(self), (self.args[0],), {"kind": self.kind})
+
+
+def _check_verify_mode(mode: str) -> None:
+    if mode not in VERIFY_MODES:
+        raise ValueError(
+            f"unknown verify mode {mode!r}; expected one of {VERIFY_MODES}"
+        )
+
+
+def classify_archive_error(
+    npz_path: str | pathlib.Path, exc: BaseException
+) -> IndexIntegrityError:
+    """Turn an unreadable-archive exception into the right
+    :class:`IndexIntegrityError`.  ``zipfile`` reports a member whose
+    stored CRC-32 disagrees with its bytes as ``BadZipFile`` — content
+    corruption, not truncation — so that case is classified
+    ``"checksum"``; every other parse failure is ``"truncated"``."""
+    if isinstance(exc, zipfile.BadZipFile) and "CRC" in str(exc):
+        return IndexIntegrityError(
+            f"{npz_path}: member failed its CRC-32 check ({exc}) — the "
+            "bundle's bytes changed since it was saved",
+            kind="checksum",
+        )
+    return IndexIntegrityError(
+        f"{npz_path}: archive is unreadable ({exc}) — truncated or "
+        "corrupted bundle",
+        kind="truncated",
+    )
+
+
+def _array_crc32(array: np.ndarray) -> int:
+    """CRC-32 of an array's logical content bytes (C-order)."""
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
+
+
+def checksum_arrays(
+    arrays: dict[str, np.ndarray]
+) -> dict[str, dict[str, Any]]:
+    """Per-member integrity records: CRC-32 over each array's content
+    bytes plus the dtype/shape that make the bytes interpretable.  The
+    JSON-able return value is what :func:`verify_integrity` later checks
+    loaded arrays against."""
+    return {
+        name: {
+            "crc32": _array_crc32(array),
+            "nbytes": int(array.nbytes),
+            "dtype": np.asarray(array).dtype.str,
+            "shape": [int(s) for s in np.asarray(array).shape],
+        }
+        for name, array in arrays.items()
+    }
+
+
+def integrity_record(
+    npz_path: str | pathlib.Path, arrays: dict[str, np.ndarray]
+) -> dict[str, Any]:
+    """The full sidecar ``"integrity"`` block for a just-written bundle:
+    algorithm tag, total archive size (the lazy-mode truncation check),
+    and the per-member checksum records."""
+    return {
+        "algorithm": "crc32",
+        "npz_nbytes": int(os.stat(npz_path).st_size),
+        "members": checksum_arrays(arrays),
+    }
+
+
+def verify_integrity(
+    npz_path: str | pathlib.Path,
+    integrity: dict[str, Any] | None,
+    *,
+    mode: str = "lazy",
+    arrays: dict[str, np.ndarray] | None = None,
+) -> None:
+    """Check a bundle against its sidecar integrity record.
+
+    ``mode="lazy"`` compares the on-disk size against the recorded
+    ``npz_nbytes`` — O(1), catches truncation and appended garbage
+    without touching data pages, so zero-copy cold starts stay O(1).
+    ``mode="eager"`` additionally reads every member and re-computes its
+    CRC-32 (pass ``arrays`` to reuse already-loaded members instead of a
+    second read).  ``mode="off"`` skips everything.  A ``None``
+    ``integrity`` record (a pre-checksum bundle) verifies trivially —
+    under ``eager`` the members are still read, so an unreadable legacy
+    archive fails as ``"truncated"`` rather than deep in revival code.
+
+    Raises :class:`IndexIntegrityError` on any mismatch.
+    """
+    _check_verify_mode(mode)
+    if mode == "off":
+        return
+    npz_path = pathlib.Path(npz_path)
+    if integrity is not None:
+        recorded = int(integrity.get("npz_nbytes", -1))
+        actual = os.stat(npz_path).st_size
+        if recorded >= 0 and actual != recorded:
+            raise IndexIntegrityError(
+                f"{npz_path}: file is {actual} bytes but the sidecar "
+                f"records {recorded} — truncated or partially copied "
+                "bundle",
+                kind="truncated",
+            )
+    if mode == "lazy":
+        return
+    if arrays is None:
+        try:
+            arrays = read_arrays(npz_path, mmap=False)
+        except FileNotFoundError:
+            raise
+        except (zipfile.BadZipFile, EOFError, OSError, ValueError, KeyError) as exc:
+            raise classify_archive_error(npz_path, exc) from exc
+    members: dict[str, dict[str, Any]] = (
+        {} if integrity is None else integrity.get("members", {})
+    )
+    for name, record in members.items():
+        if name not in arrays:
+            raise IndexIntegrityError(
+                f"{npz_path}: member {name!r} is recorded in the sidecar "
+                "but missing from the archive — manifest/bundle skew",
+                kind="manifest",
+            )
+        array = np.asarray(arrays[name])
+        if (
+            array.dtype.str != record.get("dtype")
+            or [int(s) for s in array.shape] != list(record.get("shape", []))
+        ):
+            raise IndexIntegrityError(
+                f"{npz_path}: member {name!r} has dtype/shape "
+                f"{array.dtype.str}/{list(array.shape)} but the sidecar "
+                f"records {record.get('dtype')}/{record.get('shape')} — "
+                "manifest/bundle skew",
+                kind="manifest",
+            )
+        if _array_crc32(array) != int(record.get("crc32", -1)):
+            raise IndexIntegrityError(
+                f"{npz_path}: member {name!r} failed its CRC-32 check — "
+                "the bundle's bytes changed since it was saved",
+                kind="checksum",
+            )
 
 # Keys reserved for bundle metadata inside the .npz itself, so a backend
 # payload can be identified without a sidecar.

@@ -2,14 +2,30 @@
 
 * :mod:`repro.serving.sharded` — :class:`~repro.serving.sharded.ShardedIndex`:
   contiguous data-partition sharding of the Theorem 6.1 index with exact
-  candidate-stream merging, persisted shard files, and process-pool
-  fan-out for multi-core batched serving.
+  candidate-stream merging, persisted shard files, process-pool fan-out
+  for multi-core batched serving, and fault tolerance (pool crash
+  recovery, graceful shard degradation, shared-memory crash journal).
+* :mod:`repro.serving.faults` — opt-in fault-injection hooks (worker
+  kill, segment loss, bundle corruption) for chaos tests and recovery
+  benchmarks.
 
-Persistence itself (save/load, zero-copy mmap cold starts) lives one layer
-down: :func:`repro.api.save_index` / :func:`repro.api.load_index` and
-:mod:`repro.index.persistence`.
+Persistence itself (save/load, zero-copy mmap cold starts, integrity
+checksums) lives one layer down: :func:`repro.api.save_index` /
+:func:`repro.api.load_index` and :mod:`repro.index.persistence`.
 """
 
-from repro.serving.sharded import ShardedIndex, shard_bounds
+from repro.serving.faults import FaultInjected
+from repro.serving.sharded import (
+    PoolRecoveryError,
+    ShardedIndex,
+    check_manifest_coherence,
+    shard_bounds,
+)
 
-__all__ = ["ShardedIndex", "shard_bounds"]
+__all__ = [
+    "ShardedIndex",
+    "PoolRecoveryError",
+    "FaultInjected",
+    "check_manifest_coherence",
+    "shard_bounds",
+]

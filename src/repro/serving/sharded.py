@@ -45,6 +45,34 @@ nearly empty:
   round trip).  The parent takes ownership of each segment (attach +
   unlink) before merging, so segments never outlive the request even if
   the merge raises.
+
+Fault tolerance
+---------------
+Pool serving survives the failures long-lived serving actually sees:
+
+* **worker loss** — a worker segfault/OOM-kill breaks the executor
+  (``BrokenProcessPool``); ``batch_query`` respawns it and retries only
+  the unfinished ``(shard, chunk)`` tasks, with exponential backoff,
+  at most :data:`DEFAULT_MAX_RETRIES` retry rounds, and an optional
+  per-request ``timeout=`` deadline.  Recovery accounting for the most
+  recent request lands in :attr:`ShardedIndex.last_health` next to
+  :attr:`ShardedIndex.last_transport`.
+* **shard loss / corruption** — deterministic shard errors (missing
+  files, :class:`~repro.index.persistence.IndexIntegrityError` from the
+  ``verify=`` integrity modes) are never retried; they either raise
+  :class:`PoolRecoveryError` or — under ``on_shard_failure="degrade"`` —
+  drop the shard and serve the surviving shards' *exact* merge, with
+  every result's ``stats.degraded`` flag set and the failed-shard list
+  in ``last_health``.  :meth:`ShardedIndex.health` probes shards and
+  workers on demand without mutating anything.
+* **segment leaks** — a worker can die after creating a shared-memory
+  segment but before its descriptor reaches the parent.  Workers journal
+  every segment name into a parent-owned crash-journal directory before
+  shipping; after a pool respawn (old workers provably dead) and on
+  ``close()`` the parent sweeps the journal (attach + unlink), so no
+  injected failure leaks a segment.  Fault-injection hooks live in
+  :mod:`repro.serving.faults`; ``tests/test_serving_faults.py`` drives
+  all of the above.
 """
 
 from __future__ import annotations
@@ -54,9 +82,19 @@ import json
 import os
 import pathlib
 import pickle
+import shutil
+import tempfile
+import time
+import warnings
 import weakref
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import TYPE_CHECKING
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api builds us)
     from repro.api import IndexSpec
@@ -73,9 +111,20 @@ from repro.index.backends import (
     first_seen_dedup,
 )
 from repro.index.lsh_index import DSHIndex
-from repro.index.persistence import FORMAT_VERSION
+from repro.index.persistence import (
+    FORMAT_VERSION,
+    VERIFY_MODES,
+    IndexIntegrityError,
+)
+from repro.serving.faults import FaultInjected, fault_point
 
-__all__ = ["ShardedIndex", "shard_bounds", "SHM_MIN_BYTES"]
+__all__ = [
+    "ShardedIndex",
+    "PoolRecoveryError",
+    "check_manifest_coherence",
+    "shard_bounds",
+    "SHM_MIN_BYTES",
+]
 
 #: Hit payloads at or above this many bytes return from pool workers via a
 #: shared-memory segment; smaller ones are pickled through the executor
@@ -86,6 +135,24 @@ SHM_MIN_BYTES = 32_768
 #: Smallest query-chunk a pool ``batch_query`` will split off — below this
 #: the per-task overhead (submit, hash, descriptor) dominates.
 MIN_CHUNK_QUERIES = 16
+
+#: Default bound on same-request retry rounds after transient pool
+#: failures (worker loss, vanished shared-memory segments); the first
+#: attempt is not a retry.  Override per index via
+#: :attr:`ShardedIndex.max_retries`.
+DEFAULT_MAX_RETRIES = 2
+
+#: Base of the exponential backoff between retry rounds, in seconds
+#: (round ``k`` sleeps ``backoff * 2**(k-1)``).  Override per index via
+#: :attr:`ShardedIndex.retry_backoff_s`.
+DEFAULT_RETRY_BACKOFF_S = 0.05
+
+
+class PoolRecoveryError(RuntimeError):
+    """Pool serving could not produce a complete answer: one or more
+    shards kept failing after bounded retries (or every shard failed,
+    which no mode can degrade around).  The message names each failed
+    shard and its final error."""
 
 
 def shard_bounds(n_points: int, shards: int) -> np.ndarray:
@@ -102,6 +169,57 @@ def shard_bounds(n_points: int, shards: int) -> np.ndarray:
     sizes = np.full(shards, base, dtype=np.int64)
     sizes[:extra] += 1
     return np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(sizes)])
+
+
+def check_manifest_coherence(
+    manifest: dict[str, Any], json_path: str | pathlib.Path
+) -> list[str]:
+    """Validate a sharded manifest's internal coherence; returns the
+    shard file names.
+
+    Checks that the shard list matches the spec's declared shard count,
+    that ``bounds`` has ``shards + 1`` entries, starts at zero, and is
+    strictly increasing (every shard non-empty).  Incoherence means the
+    manifest and shard files skewed — a partial deploy or a hand-edited
+    manifest — and raises
+    :class:`~repro.index.persistence.IndexIntegrityError` with
+    ``kind="manifest"``.
+    """
+    if manifest.get("layout") != "sharded":
+        raise IndexIntegrityError(
+            f"{json_path!s} is not a sharded index manifest",
+            kind="manifest",
+        )
+    shards = manifest.get("shards")
+    if not isinstance(shards, list) or not shards:
+        raise IndexIntegrityError(
+            f"{json_path!s}: manifest has no shard list", kind="manifest"
+        )
+    declared = manifest.get("spec", {}).get("shards")
+    if declared is not None and len(shards) != int(declared):
+        raise IndexIntegrityError(
+            f"{json_path!s}: manifest lists {len(shards)} shard file(s) "
+            f"but the spec declares shards={declared} — manifest/shard "
+            "skew",
+            kind="manifest",
+        )
+    bounds = manifest.get("bounds")
+    if not isinstance(bounds, list) or len(bounds) != len(shards) + 1:
+        raise IndexIntegrityError(
+            f"{json_path!s}: manifest bounds must have "
+            f"{len(shards) + 1} offsets, got "
+            f"{len(bounds) if isinstance(bounds, list) else bounds!r}",
+            kind="manifest",
+        )
+    if int(bounds[0]) != 0 or any(
+        int(hi) <= int(lo) for lo, hi in zip(bounds[:-1], bounds[1:])
+    ):
+        raise IndexIntegrityError(
+            f"{json_path!s}: manifest bounds must start at 0 and be "
+            f"strictly increasing, got {bounds}",
+            kind="manifest",
+        )
+    return [str(name) for name in shards]
 
 
 # Per-process cache of memory-mapped shard indexes, keyed by path and
@@ -122,16 +240,105 @@ def _shard_signature(shard_path: str) -> tuple[int, int]:
     return (stat.st_mtime_ns, stat.st_size)
 
 
-def _cached_shard(shard_path: str, mmap: bool) -> DSHIndex:
+def _cached_shard(
+    shard_path: str, mmap: bool, verify: str = "lazy"
+) -> DSHIndex:
     from repro.api import load_index
 
     signature = _shard_signature(shard_path)
     cached = _SHARD_CACHE.get(shard_path)
     if cached is not None and cached[0] == signature:
         return cached[1]
-    index = load_index(shard_path, mmap=mmap)
+    index = load_index(shard_path, mmap=mmap, verify=verify)
     _SHARD_CACHE[shard_path] = (signature, index)
     return index
+
+
+# Warn-once flag for unexpected resource-tracker unregister failures (the
+# expected ones — already unregistered, tracker pipe gone at teardown —
+# stay silent).
+_UNREGISTER_WARNED = False
+
+
+def _unregister_segment(tracker_name: str) -> None:
+    """Drop a shared-memory segment's resource-tracker registration.
+
+    Expected failures are silent: ``KeyError`` (the tracker already
+    dropped the name) and ``OSError`` (the tracker pipe is gone during
+    interpreter teardown).  Anything else indicates a real bug in the
+    segment handoff and is surfaced once per process via ``warnings``
+    instead of being swallowed.
+    """
+    global _UNREGISTER_WARNED
+    try:
+        resource_tracker.unregister(tracker_name, "shared_memory")
+    except (KeyError, OSError):
+        pass
+    except Exception as exc:
+        if not _UNREGISTER_WARNED:
+            _UNREGISTER_WARNED = True
+            warnings.warn(
+                "unexpected error unregistering shared-memory segment "
+                f"{tracker_name!r}: {exc!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+
+def _journal_record(journal_dir: str | None, name: str) -> None:
+    """Journal a just-created segment name so the parent can reclaim it
+    if this worker dies before the descriptor crosses the pipe.  Best
+    effort: a missing journal directory (index being closed) must not
+    fail the request."""
+    if journal_dir is None:
+        return
+    try:
+        with open(os.path.join(journal_dir, name), "x"):
+            pass
+    except OSError:
+        pass
+
+
+def _journal_discard(journal_dir: str | None, name: str) -> None:
+    """Remove a segment's journal entry once ownership is settled."""
+    if journal_dir is None:
+        return
+    try:
+        os.remove(os.path.join(journal_dir, name))
+    except OSError:
+        pass
+
+
+def _sweep_journal(journal_dir: str | None) -> int:
+    """Reclaim every journaled segment (attach + unlink) and clear the
+    journal; returns how many leaked segments were actually found.
+
+    Only safe when no journal writer can be mid-ship — i.e. after the
+    old pool's workers are confirmed dead (post-respawn, post-shutdown).
+    Entries whose segment is already gone (the worker unlinked it on its
+    own error path, or the parent resolved it) are just forgotten.
+    """
+    if journal_dir is None:
+        return 0
+    try:
+        names = os.listdir(journal_dir)
+    except FileNotFoundError:
+        return 0
+    swept = 0
+    for name in names:
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            pass
+        else:
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+            segment.close()
+            swept += 1
+        _journal_discard(journal_dir, name)
+    return swept
 
 
 @dataclasses.dataclass(frozen=True)
@@ -149,10 +356,19 @@ class _ShmBlock:
     truncated: np.ndarray
 
 
-def _ship_block(block: BatchHits, shm_min_bytes: int | None):
+def _ship_block(
+    block: BatchHits,
+    shm_min_bytes: int | None,
+    journal_dir: str | None = None,
+) -> BatchHits | _ShmBlock:
     """Worker-side transport encoding: shared memory for large hit arrays,
     the block itself (plain pickle) below the threshold (and always for
-    empty streams — a zero-byte segment cannot be created)."""
+    empty streams — a zero-byte segment cannot be created).
+
+    The segment's name is journaled *before* any further work, so a
+    worker dying mid-ship leaves a name the parent sweeps after the pool
+    respawn instead of a leaked segment; every worker-side failure path
+    after creation unlinks the segment itself."""
     if (
         shm_min_bytes is None
         or block.hits.nbytes < shm_min_bytes
@@ -160,20 +376,33 @@ def _ship_block(block: BatchHits, shm_min_bytes: int | None):
     ):
         return block
     segment = shared_memory.SharedMemory(create=True, size=block.hits.nbytes)
+    _journal_record(journal_dir, segment.name)
     try:
+        fault_point("shm_ship")
         # The parent attaches and unlinks this segment; unregister it from
         # this worker's resource tracker so worker shutdown neither warns
         # about nor double-unlinks a segment it no longer owns.
-        resource_tracker.unregister(segment._name, "shared_memory")
-    except Exception:
-        pass
-    view = np.frombuffer(
-        segment.buf, dtype=block.hits.dtype, count=block.hits.size
-    )
-    view[:] = block.hits
-    del view
-    name = segment.name
-    segment.close()
+        _unregister_segment(segment._name)
+        view = np.frombuffer(
+            segment.buf, dtype=block.hits.dtype, count=block.hits.size
+        )
+        view[:] = block.hits
+        del view
+        name = segment.name
+        segment.close()
+    except BaseException:
+        # Failure after create but before the descriptor ships: reclaim
+        # the segment here so this worker's error path leaks nothing.
+        try:
+            segment.close()
+        except BufferError:
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        _journal_discard(journal_dir, segment.name)
+        raise
     return _ShmBlock(
         shm_name=name,
         dtype=block.hits.dtype.str,
@@ -185,19 +414,24 @@ def _ship_block(block: BatchHits, shm_min_bytes: int | None):
     )
 
 
-def _resolve_block(raw):
+def _resolve_block(
+    raw: BatchHits | _ShmBlock, journal_dir: str | None = None
+) -> tuple[BatchHits, Callable[[], None] | None]:
     """Parent-side transport decoding: returns ``(block, release)`` where
     ``release`` (or ``None`` for pickled blocks) must be called after every
     view of ``block.hits`` is dropped.  The segment is unlinked immediately
-    on attach — the parent owns it from here, and the memory is freed when
-    the last mapping closes even if the process dies mid-merge."""
+    on attach — the parent owns it from here (its journal entry is
+    cleared), and the memory is freed when the last mapping closes even
+    if the process dies mid-merge."""
     if isinstance(raw, BatchHits):
         return raw, None
+    fault_point("shm_attach")
     segment = shared_memory.SharedMemory(name=raw.shm_name)
     try:
         segment.unlink()
     except FileNotFoundError:
         pass
+    _journal_discard(journal_dir, raw.shm_name)
     hits = np.frombuffer(
         segment.buf, dtype=np.dtype(raw.dtype), count=raw.size
     )
@@ -209,7 +443,7 @@ def _resolve_block(raw):
         full_table_counts=raw.full_table_counts,
     )
 
-    def release():
+    def release() -> None:
         try:
             segment.close()
         except BufferError:  # a stray view still alive; freed at exit
@@ -218,20 +452,70 @@ def _resolve_block(raw):
     return block, release
 
 
+def _discard_raw(raw: object, journal_dir: str | None) -> None:
+    """Dispose of a transport payload whose result is no longer wanted
+    (superseded retry, failed shard, abandoned request): unlink its
+    shared-memory segment, if any, and clear the journal entry."""
+    if not isinstance(raw, _ShmBlock):
+        return
+    try:
+        segment = shared_memory.SharedMemory(name=raw.shm_name)
+    except FileNotFoundError:
+        pass
+    else:
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        segment.close()
+    _journal_discard(journal_dir, raw.shm_name)
+
+
+def _abandon_future(future: Future[Any], journal_dir: str | None) -> None:
+    """Walk away from a pool future without leaking its result: cancel it
+    if it has not started, otherwise attach a callback that discards the
+    shared-memory payload whenever the straggler finishes."""
+    if future.cancel():
+        return
+
+    def _discard(done: Future[Any]) -> None:
+        try:
+            raw = done.result()
+        except BaseException:
+            return
+        _discard_raw(raw, journal_dir)
+
+    future.add_done_callback(_discard)
+
+
 def _pool_batch_hits(
     shard_path: str,
     queries: np.ndarray,
     mmap: bool,
     max_retrieved: int | None = None,
     shm_min_bytes: int | None = SHM_MIN_BYTES,
-):
+    verify: str = "lazy",
+    journal_dir: str | None = None,
+) -> BatchHits | _ShmBlock:
     """Pool worker: resolve one shard's hit streams for a query chunk,
-    budget-clip them shard-locally, and encode them for transport."""
-    index = _cached_shard(shard_path, mmap)
+    budget-clip them shard-locally, and encode them for transport.
+    Shard (re)loads verify the bundle at the ``verify`` level the index
+    was loaded with, so a hot-swapped-in corrupted file is rejected here
+    instead of silently served."""
+    fault_point("pool_worker")
+    index = _cached_shard(shard_path, mmap, verify)
     block = clip_batch_hits(
         index.batch_query_hits(queries), index.n_tables, max_retrieved
     )
-    return _ship_block(block, shm_min_bytes)
+    return _ship_block(block, shm_min_bytes, journal_dir)
+
+
+def _probe_worker(delay: float = 0.0) -> int:
+    """Pool-worker liveness probe: linger briefly so concurrent probes
+    spread across the pool, then report this worker's pid."""
+    if delay > 0:
+        time.sleep(delay)
+    return os.getpid()
 
 
 def _concat_blocks(blocks: list[BatchHits]) -> BatchHits:
@@ -266,18 +550,26 @@ def _chunk_bounds(n_queries: int, n_shards: int, workers: int) -> np.ndarray:
     return shard_bounds(n_queries, chunks)
 
 
-def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+def _cleanup_pool(
+    pool: ProcessPoolExecutor, journal_dir: str | None
+) -> None:
     """GC-time fallback for a leaked pool (see ``weakref.finalize`` in
-    :meth:`ShardedIndex.load`): must not block the collector."""
+    :meth:`ShardedIndex.load`): must not block the collector, then
+    best-effort reclaims crash-journaled segments and the journal
+    directory itself."""
     pool.shutdown(wait=False, cancel_futures=True)
+    _sweep_journal(journal_dir)
+    if journal_dir is not None:
+        shutil.rmtree(journal_dir, ignore_errors=True)
 
 
 def _merge_blocks(
     blocks: list[BatchHits],
-    bounds: np.ndarray,
+    offsets: list[int] | np.ndarray,
     n_tables: int,
     n_points: int,
     max_retrieved: int | None,
+    degraded: bool = False,
 ) -> list[CandidateResult]:
     """Merge per-shard hit streams into globally-correct candidate results.
 
@@ -292,6 +584,11 @@ def _merge_blocks(
     hits past their shard-local stopping table, which is never before the
     merged one.  Stats are the sums of the per-shard retrieval work, which
     equal the unsharded index's stats exactly.
+
+    ``offsets`` carries each block's global starting index — one entry
+    per block, so a degraded merge over surviving shards passes only
+    their offsets and remains exact over the points those shards own.
+    ``degraded=True`` stamps every result's ``stats.degraded`` flag.
     """
     # Post-clip counts locate hits inside each shard's (possibly clipped)
     # flat array; pre-clip counts drive the budget and the stats.
@@ -313,7 +610,7 @@ def _merge_blocks(
             - block.table_counts
         )
         global_hits.append(
-            np.asarray(block.hits, dtype=np.int64) + int(bounds[s])
+            np.asarray(block.hits, dtype=np.int64) + int(offsets[s])
         )
 
     stamp = np.empty(max(n_points, 1), dtype=np.int64)
@@ -340,6 +637,7 @@ def _merge_blocks(
                     unique_candidates=len(ordered),
                     tables_probed=int(probed[i]),
                     truncated=bool(truncated[i]),
+                    degraded=bool(degraded),
                 ),
             )
         )
@@ -356,7 +654,8 @@ class ShardedIndex:
     is what makes the merge exact.  ``save``/``load`` round the shards
     through per-shard zero-copy files; ``load(path, workers=W)`` switches
     to process-pool serving (shared-memory result transport, worker-side
-    budget clipping, query-block chunking — see the module docstring).
+    budget clipping, query-block chunking, crash recovery — see the
+    module docstring).
 
     Parameters
     ----------
@@ -409,11 +708,26 @@ class ShardedIndex:
         self._workers: int | None = None
         self._finalizer: weakref.finalize | None = None
         self._shm_min_bytes: int | None = SHM_MIN_BYTES
+        self._verify = "lazy"
+        self._on_shard_failure = "raise"
+        self._journal_dir: str | None = None
+        #: Bound on same-request retry rounds after transient pool
+        #: failures; deterministic shard errors are never retried.
+        self.max_retries: int = DEFAULT_MAX_RETRIES
+        #: Base of the exponential backoff between retry rounds (s).
+        self.retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S
         #: Transport accounting for the most recent pool ``batch_query``:
         #: ``pipe_bytes`` (pickled bytes through the executor pipe),
         #: ``shm_bytes`` (hit bytes moved via shared memory), ``tasks``
         #: and ``chunks`` submitted.  ``None`` before any pool query.
         self.last_transport: dict[str, int] | None = None
+        #: Recovery accounting for the most recent pool ``batch_query``:
+        #: ``retries`` (task re-submissions), ``respawns`` (executor
+        #: replacements), ``swept_segments`` (leaked shared-memory
+        #: segments reclaimed from the crash journal), ``failed_shards``
+        #: (per-shard error records), ``degraded``.  ``None`` before any
+        #: pool query; also populated when the request raises.
+        self.last_health: dict[str, Any] | None = None
 
     # -- introspection ---------------------------------------------------
 
@@ -487,77 +801,277 @@ class ShardedIndex:
             shard._backend.batch_query_hits(comps) for shard in self._shards
         ]
 
+    def _respawn_pool(self) -> int:
+        """Replace a broken executor with a fresh one.  Blocks until the
+        dead pool's remaining processes are reaped, then sweeps the
+        crash journal — safe only once the old workers are gone, since a
+        live worker could still be writing a journaled segment.  Returns
+        the number of leaked segments reclaimed."""
+        pool, self._pool = self._pool, None
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        swept = _sweep_journal(self._journal_dir)
+        self._pool = ProcessPoolExecutor(max_workers=self._workers)
+        self._finalizer = weakref.finalize(
+            self, _cleanup_pool, self._pool, self._journal_dir
+        )
+        return swept
+
     def _pool_blocks(
-        self, queries: np.ndarray, max_retrieved: int | None
-    ) -> tuple[list[BatchHits], list]:
-        """Fan ``(shard, query-chunk)`` tasks over the worker pool and
-        reassemble one block per shard; also records transport stats."""
+        self,
+        queries: np.ndarray,
+        max_retrieved: int | None,
+        timeout: float | None,
+    ) -> tuple[list[BatchHits], list[Callable[[], None]], list[int], bool]:
+        """Fan ``(shard, query-chunk)`` tasks over the worker pool with
+        crash recovery; returns ``(blocks, releases, offsets, degraded)``
+        — one reassembled block per surviving shard plus that shard's
+        global offset — and records transport + recovery accounting.
+
+        Worker loss (``BrokenProcessPool``) respawns the executor and
+        retries only the unfinished tasks, with exponential backoff and
+        at most :attr:`max_retries` retry rounds; a shared-memory
+        segment that vanished between ship and attach retries the same
+        way.  Deterministic shard errors (integrity failures, missing
+        files) are never retried.  ``timeout`` bounds the whole request:
+        on expiry unfinished futures are abandoned with discard
+        callbacks (their segments are reclaimed on arrival) and builtin
+        :class:`TimeoutError` is raised.  Shards whose retries are
+        exhausted raise :class:`PoolRecoveryError`, or — in
+        ``on_shard_failure="degrade"`` mode — are dropped from the merge
+        and reported in :attr:`last_health`.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         chunk_bounds = _chunk_bounds(
             queries.shape[0], self.n_shards, self._workers or 1
         )
-        futures = [
-            (s, self._pool.submit(
-                _pool_batch_hits,
-                path,
-                queries[lo:hi],
-                self._mmap,
-                max_retrieved,
-                self._shm_min_bytes,
-            ))
-            for lo, hi in zip(chunk_bounds[:-1], chunk_bounds[1:])
-            for s, path in enumerate(self._paths)
+        chunks = list(zip(chunk_bounds[:-1], chunk_bounds[1:]))
+        paths = self._paths or []
+        pending = [
+            (s, c) for c in range(len(chunks)) for s in range(len(paths))
         ]
-        raw_by_shard: list[list] = [[] for _ in self._paths]
-        for s, future in futures:
-            raw_by_shard[s].append(future.result())
-
+        resolved: dict[tuple[int, int], BatchHits] = {}
+        releases: list[Callable[[], None]] = []
+        failed: dict[int, str] = {}
+        health: dict[str, Any] = {
+            "mode": "pool",
+            "retries": 0,
+            "respawns": 0,
+            "swept_segments": 0,
+            "failed_shards": [],
+            "degraded": False,
+        }
+        submitted = 0
         pipe_bytes = 0
         shm_bytes = 0
-        blocks: list[BatchHits] = []
-        releases: list = []
-        for raws in raw_by_shard:
-            resolved = []
-            for raw in raws:
-                # Re-pickling what came off the pipe measures the actual
-                # transport cost (descriptors are tiny; fallback blocks
-                # carry their hit bytes).
-                pipe_bytes += len(
-                    pickle.dumps(raw, protocol=pickle.HIGHEST_PROTOCOL)
+        attempts = 0
+        try:
+            while pending:
+                pool = self._pool
+                if pool is None:
+                    raise PoolRecoveryError(
+                        "worker pool is gone (index closed mid-request?)"
+                    )
+                futures: list[tuple[tuple[int, int], Future[Any]]] = []
+                broken = False
+                try:
+                    for s, c in pending:
+                        lo, hi = chunks[c]
+                        futures.append(
+                            ((s, c), pool.submit(
+                                _pool_batch_hits,
+                                paths[s],
+                                queries[lo:hi],
+                                self._mmap,
+                                max_retrieved,
+                                self._shm_min_bytes,
+                                self._verify,
+                                self._journal_dir,
+                            ))
+                        )
+                except BrokenExecutor:
+                    broken = True
+                submitted += len(futures)
+                # Tasks never submitted (executor broke mid-fan-out) go
+                # straight back on the retry list.
+                retry: list[tuple[int, int]] = list(pending[len(futures):])
+                for key, future in futures:
+                    s = key[0]
+                    remaining = (
+                        None if deadline is None
+                        else deadline - time.monotonic()
+                    )
+                    try:
+                        if remaining is not None and remaining <= 0:
+                            raise _FuturesTimeout()
+                        raw = future.result(timeout=remaining)
+                    except _FuturesTimeout:
+                        for _, straggler in futures:
+                            _abandon_future(straggler, self._journal_dir)
+                        raise TimeoutError(
+                            f"batch_query deadline ({timeout:g}s) exceeded "
+                            "with pool tasks outstanding"
+                        ) from None
+                    except BrokenExecutor as exc:
+                        # Drop the traceback: the future retains this
+                        # exception, and a traceback referencing this
+                        # frame would cycle frame -> futures -> exception
+                        # -> frame, pinning segment views past release.
+                        exc.__traceback__ = None
+                        broken = True
+                        retry.append(key)
+                        continue
+                    except (IndexIntegrityError, FileNotFoundError) as exc:
+                        # Deterministic shard failure: the file itself is
+                        # bad or gone; retrying cannot help.
+                        failed.setdefault(
+                            s, f"{type(exc).__name__}: {exc}"
+                        )
+                        exc.__traceback__ = None
+                        continue
+                    except FaultInjected as exc:
+                        exc.__traceback__ = None
+                        retry.append(key)
+                        continue
+                    # Re-pickling what came off the pipe measures the
+                    # actual transport cost (descriptors are tiny;
+                    # fallback blocks carry their hit bytes).
+                    pipe_bytes += len(
+                        pickle.dumps(raw, protocol=pickle.HIGHEST_PROTOCOL)
+                    )
+                    if isinstance(raw, _ShmBlock):
+                        shm_bytes += raw.size * np.dtype(raw.dtype).itemsize
+                    if s in failed:
+                        _discard_raw(raw, self._journal_dir)
+                        continue
+                    try:
+                        # Keep no loose local reference to the block: if
+                        # this frame later raises, its traceback must not
+                        # pin a segment view past ``resolved.clear()``.
+                        pair = _resolve_block(raw, self._journal_dir)
+                    except (FileNotFoundError, FaultInjected):
+                        # The segment vanished between ship and attach —
+                        # transient infrastructure failure; re-run the
+                        # task.
+                        retry.append(key)
+                        continue
+                    resolved[key] = pair[0]
+                    if pair[1] is not None:
+                        releases.append(pair[1])
+                    del pair
+                if broken:
+                    health["respawns"] += 1
+                    health["swept_segments"] += self._respawn_pool()
+                pending = [key for key in retry if key[0] not in failed]
+                if not pending:
+                    break
+                attempts += 1
+                if attempts > self.max_retries:
+                    for s, _ in pending:
+                        failed.setdefault(
+                            s,
+                            f"retries exhausted after {self.max_retries} "
+                            "retry round(s) of worker failures",
+                        )
+                    break
+                health["retries"] += len(pending)
+                delay = self.retry_backoff_s * (2 ** (attempts - 1))
+                if (
+                    deadline is not None
+                    and time.monotonic() + delay >= deadline
+                ):
+                    raise TimeoutError(
+                        f"batch_query deadline ({timeout:g}s) exceeded "
+                        "while backing off before a retry round"
+                    )
+                time.sleep(delay)
+            health["failed_shards"] = [
+                {"shard": s, "path": paths[s], "error": failed[s]}
+                for s in sorted(failed)
+            ]
+            degraded = False
+            if failed:
+                summary = "; ".join(
+                    f"shard {s} ({os.path.basename(paths[s])}): {failed[s]}"
+                    for s in sorted(failed)
                 )
-                if isinstance(raw, _ShmBlock):
-                    shm_bytes += raw.size * np.dtype(raw.dtype).itemsize
-                block, release = _resolve_block(raw)
-                resolved.append(block)
-                if release is not None:
-                    releases.append(release)
-            blocks.append(_concat_blocks(resolved))
+                if len(failed) == len(paths):
+                    raise PoolRecoveryError(f"every shard failed: {summary}")
+                if self._on_shard_failure == "raise":
+                    raise PoolRecoveryError(
+                        f"{len(failed)}/{len(paths)} shard(s) failed after "
+                        f"recovery attempts: {summary} (load with "
+                        "on_shard_failure='degrade' to serve surviving "
+                        "shards)"
+                    )
+                degraded = True
+                health["degraded"] = True
+            surviving = [s for s in range(len(paths)) if s not in failed]
+            blocks = [
+                _concat_blocks(
+                    [resolved[(s, c)] for c in range(len(chunks))]
+                )
+                for s in surviving
+            ]
+            offsets = [int(self._bounds[s]) for s in surviving]
+        except BaseException:
+            # Drop every view into the shared-memory segments before
+            # closing them (resolved blocks hold live exports; a mapped
+            # segment cannot close under them); already unlinked.
+            resolved.clear()
+            for release in releases:
+                release()
+            self.last_health = health
+            raise
         self.last_transport = {
             "pipe_bytes": int(pipe_bytes),
             "shm_bytes": int(shm_bytes),
-            "tasks": len(futures),
-            "chunks": len(chunk_bounds) - 1,
+            "tasks": submitted,
+            "chunks": len(chunks),
         }
-        return blocks, releases
+        self.last_health = health
+        return blocks, releases, offsets, degraded
 
     def batch_query(
-        self, queries: np.ndarray, max_retrieved: int | None = None
+        self,
+        queries: np.ndarray,
+        max_retrieved: int | None = None,
+        timeout: float | None = None,
     ) -> list[CandidateResult]:
         """Candidate retrieval for a query block, fanned out across shards
         and merged exactly (global ids, first-seen dedup order, summed
-        stats) — element-for-element identical to the unsharded index."""
+        stats) — element-for-element identical to the unsharded index.
+
+        Pool serving transparently recovers from worker loss (executor
+        respawn + bounded same-request retries; see the module
+        docstring); ``timeout`` bounds one request end to end, raising
+        builtin :class:`TimeoutError` on expiry.  Once a shard's retries
+        are exhausted the load-time ``on_shard_failure`` mode decides:
+        ``"raise"`` raises :class:`PoolRecoveryError`; ``"degrade"``
+        returns the surviving shards' exact merge with every result's
+        ``stats.degraded`` set and the failure detailed in
+        :attr:`last_health`.
+        """
         queries = self._check_queries(queries)
         if self._shards is None and self._pool is None:
             raise ValueError(
                 "this ShardedIndex has been closed; load it again to serve"
             )
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
         if queries.shape[0] == 0:
             return []
         if self._pool is not None:
-            blocks, releases = self._pool_blocks(queries, max_retrieved)
+            blocks, releases, offsets, degraded = self._pool_blocks(
+                queries, max_retrieved, timeout
+            )
             try:
                 return _merge_blocks(
-                    blocks, self._bounds, self.n_tables, self.n_points,
-                    max_retrieved,
+                    blocks, offsets, self.n_tables, self.n_points,
+                    max_retrieved, degraded=degraded,
                 )
             finally:
                 # Drop every view into the shared-memory segments before
@@ -567,12 +1081,16 @@ class ShardedIndex:
                 for release in releases:
                     release()
         return _merge_blocks(
-            self._shard_blocks(queries), self._bounds, self.n_tables,
-            self.n_points, max_retrieved,
+            self._shard_blocks(queries),
+            [int(b) for b in self._bounds[:-1]],
+            self.n_tables, self.n_points, max_retrieved,
         )
 
     def query(
-        self, query: np.ndarray, max_retrieved: int | None = None
+        self,
+        query: np.ndarray,
+        max_retrieved: int | None = None,
+        timeout: float | None = None,
     ) -> CandidateResult:
         """Single-query spelling of :meth:`batch_query`."""
         queries = self._check_queries(query)
@@ -580,14 +1098,88 @@ class ShardedIndex:
             raise ValueError(
                 f"query must be a single point, got {queries.shape[0]}"
             )
-        return self.batch_query(queries, max_retrieved)[0]
+        return self.batch_query(queries, max_retrieved, timeout)[0]
+
+    # -- health ----------------------------------------------------------
+
+    def health(self, *, verify: str | None = None) -> dict[str, Any]:
+        """Active health probe: validate every shard on disk and
+        round-trip the worker pool; never raises for unhealthy
+        components (the JSON-able report carries the errors).
+
+        Shard checks stat each bundle's freshness signature and run
+        :func:`repro.api.verify_saved_index` at the requested ``verify``
+        level (default: the level the index was loaded with; in-memory
+        builds have no files and report their live shards as healthy).
+        Pool checks submit one probe per worker — each lingers briefly
+        so concurrent probes spread across the pool — and report the
+        distinct worker pids that answered.  The top-level ``"ok"`` is
+        the conjunction of every component check.
+        """
+        from repro.api import verify_saved_index
+        from repro.index.persistence import _check_verify_mode
+
+        level = self._verify if verify is None else verify
+        _check_verify_mode(level)
+        if self._pool is not None:
+            mode = "pool"
+        elif self._shards is not None:
+            mode = "in-process"
+        else:
+            mode = "closed"
+        report: dict[str, Any] = {
+            "mode": mode,
+            "verify": level,
+            "ok": mode != "closed",
+            "shards": [],
+        }
+        if self._paths is not None:
+            for s, path in enumerate(self._paths):
+                entry: dict[str, Any] = {"shard": s, "path": path, "ok": True}
+                try:
+                    entry["signature"] = list(_shard_signature(path))
+                    verify_saved_index(path, verify=level)
+                except (OSError, ValueError) as exc:
+                    # IndexIntegrityError is a ValueError;
+                    # FileNotFoundError is an OSError.
+                    entry["ok"] = False
+                    entry["error"] = f"{type(exc).__name__}: {exc}"
+                    report["ok"] = False
+                report["shards"].append(entry)
+        else:
+            report["shards"] = [
+                {"shard": s, "ok": True} for s in range(self.n_shards)
+            ]
+        if self._pool is not None:
+            workers = self._workers or 1
+            try:
+                probes = [
+                    self._pool.submit(_probe_worker, 0.05)
+                    for _ in range(workers)
+                ]
+                pids = sorted({f.result(timeout=30.0) for f in probes})
+                report["workers"] = {
+                    "requested": workers,
+                    "alive_pids": pids,
+                    "ok": True,
+                }
+            except (BrokenExecutor, _FuturesTimeout) as exc:
+                report["workers"] = {
+                    "requested": workers,
+                    "alive_pids": [],
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+                report["ok"] = False
+        return report
 
     # -- persistence -----------------------------------------------------
 
     def save(self, path: str | pathlib.Path) -> pathlib.Path:
         """Persist as ``<path>.json`` (manifest) + one zero-copy file pair
-        per shard (``<path>.shard<i>.npz/.json``).  Returns the manifest
-        path."""
+        per shard (``<path>.shard<i>.npz/.json``); every shard's sidecar
+        carries per-member CRC-32 integrity records (see
+        :func:`repro.api.save_index`).  Returns the manifest path."""
         from repro.api import index_paths, save_index
 
         if self._shards is None:
@@ -621,6 +1213,8 @@ class ShardedIndex:
         *,
         workers: int | None = None,
         mmap: bool = True,
+        verify: str = "lazy",
+        on_shard_failure: str = "raise",
     ) -> "ShardedIndex":
         """Revive a :meth:`save` layout.
 
@@ -631,10 +1225,35 @@ class ShardedIndex:
         pool spawn.  The pool is shut down by :meth:`close` (idempotent),
         by the context-manager exit, or — as a safety net — by a
         ``weakref.finalize`` hook when the index is garbage collected, so
-        forgotten handles cannot leak worker processes.
-        """
-        from repro.api import IndexSpec, index_paths, load_index
+        forgotten handles cannot leak worker processes (the hook also
+        reclaims the shared-memory crash journal).
 
+        ``verify`` sets the integrity level every shard bundle is held
+        to, at load time and on every worker-side (re)load: ``"lazy"``
+        (default, O(1) structural checks), ``"eager"`` (full per-member
+        re-checksum), ``"off"``.  ``on_shard_failure`` selects what a
+        pool ``batch_query`` does once a shard's retries are exhausted:
+        ``"raise"`` (default) propagates :class:`PoolRecoveryError`,
+        ``"degrade"`` serves the surviving shards' exact merge with
+        results flagged ``degraded`` (see :meth:`batch_query`).
+        """
+        from repro.api import (
+            IndexSpec,
+            index_paths,
+            load_index,
+            verify_saved_index,
+        )
+
+        if verify not in VERIFY_MODES:
+            raise ValueError(
+                f"unknown verify mode {verify!r}; expected one of "
+                f"{VERIFY_MODES}"
+            )
+        if on_shard_failure not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_shard_failure must be 'raise' or 'degrade', got "
+                f"{on_shard_failure!r}"
+            )
         _, json_path = index_paths(path)
         manifest = json.loads(json_path.read_text())
         if manifest.get("layout") != "sharded":
@@ -644,18 +1263,23 @@ class ShardedIndex:
                 f"unsupported index format {manifest.get('format')!r} "
                 f"(this build reads format {FORMAT_VERSION})"
             )
+        shard_names = check_manifest_coherence(manifest, json_path)
         self = object.__new__(cls)
         self.spec = IndexSpec.from_dict(manifest["spec"])
         self._bounds = np.asarray(manifest["bounds"], dtype=np.int64)
         self._dim = int(manifest["dim"])
-        self._paths = [
-            str(json_path.parent / name) for name in manifest["shards"]
-        ]
+        self._paths = [str(json_path.parent / name) for name in shard_names]
         self._mmap = mmap
         self._workers = workers
         self._finalizer = None
         self._shm_min_bytes = SHM_MIN_BYTES
+        self._verify = verify
+        self._on_shard_failure = on_shard_failure
+        self._journal_dir = None
+        self.max_retries = DEFAULT_MAX_RETRIES
+        self.retry_backoff_s = DEFAULT_RETRY_BACKOFF_S
         self.last_transport = None
+        self.last_health = None
         # Fail now, not inside a pool worker's first query: a partial
         # deploy that missed a shard file should be caught at load time
         # with a clearly-attributed error.
@@ -671,30 +1295,44 @@ class ShardedIndex:
                 f"{missing}"
             )
         if workers is None:
-            self._shards = [load_index(p, mmap=mmap) for p in self._paths]
+            self._shards = [
+                load_index(p, mmap=mmap, verify=verify) for p in self._paths
+            ]
             self._pool = None
         else:
             if workers < 1:
                 raise ValueError(f"workers must be >= 1, got {workers}")
+            if verify != "off":
+                # A damaged shard should be rejected here with a
+                # clearly-attributed IndexIntegrityError, not inside a
+                # pool worker's first query (workers still re-verify on
+                # every (re)load, covering hot swaps).
+                for p in self._paths:
+                    verify_saved_index(p, verify=verify)
             self._shards = None
+            self._journal_dir = tempfile.mkdtemp(prefix="repro-shm-journal-")
             self._pool = ProcessPoolExecutor(max_workers=workers)
             self._finalizer = weakref.finalize(
-                self, _shutdown_pool, self._pool
+                self, _cleanup_pool, self._pool, self._journal_dir
             )
         return self
 
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the worker pool.  Idempotent; a no-op for in-process
+        """Shut down the worker pool and reclaim any crash-journaled
+        shared-memory segments.  Idempotent; a no-op for in-process
         serving."""
         pool, self._pool = self._pool, None
-        if pool is None:
-            return
+        journal_dir, self._journal_dir = self._journal_dir, None
         if self._finalizer is not None:
             self._finalizer.detach()
             self._finalizer = None
-        pool.shutdown()
+        if pool is not None:
+            pool.shutdown()
+        if journal_dir is not None:
+            _sweep_journal(journal_dir)
+            shutil.rmtree(journal_dir, ignore_errors=True)
 
     def __enter__(self) -> "ShardedIndex":
         return self

@@ -192,6 +192,40 @@ def test_rr006_good_inside_clip_batch_hits():
 
 
 # ---------------------------------------------------------------------------
+# RR007 broad-except-discipline
+# ---------------------------------------------------------------------------
+
+
+def test_rr007_flags_silent_broad_handlers():
+    bad = (
+        "try:\n"
+        "    f()\n"
+        "except Exception:\n"
+        "    pass\n"
+        "try:\n"
+        "    g()\n"
+        "except:\n"
+        "    ...\n"
+    )
+    assert codes(lint(bad, select="RR007")) == ["RR007", "RR007"]
+
+
+def test_rr007_good_narrow_or_acting_handlers():
+    good = (
+        "import warnings\n"
+        "try:\n"
+        "    f()\n"
+        "except FileNotFoundError:\n"
+        "    pass\n"  # narrow + silent: documents what it expects
+        "try:\n"
+        "    g()\n"
+        "except Exception as exc:\n"
+        "    warnings.warn(f'unexpected: {exc!r}')\n"  # broad but acts
+    )
+    assert lint(good, select="RR007") == []
+
+
+# ---------------------------------------------------------------------------
 # Suppression and baseline machinery
 # ---------------------------------------------------------------------------
 

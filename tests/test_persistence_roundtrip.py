@@ -9,13 +9,27 @@ also covers indexes built *without* a fixed seed.
 """
 
 import json
+import pickle
 
 import numpy as np
 import pytest
 
-from repro.api import build_index, index_paths, load_index, save_index
+from repro.api import (
+    IndexSpec,
+    build_index,
+    index_paths,
+    load_index,
+    save_index,
+    verify_saved_index,
+)
 from repro.index import DictBackend, DSHIndex, IndexBackend, PackedBackend
-from repro.index.persistence import FORMAT_VERSION, read_arrays, write_arrays
+from repro.index.persistence import (
+    FORMAT_VERSION,
+    IndexIntegrityError,
+    read_arrays,
+    write_arrays,
+)
+from repro.serving import ShardedIndex, faults
 from repro.families.bit_sampling import BitSampling
 from repro.spaces import euclidean, hamming, sphere
 from repro.utils.rng import rng_from_state, rng_state
@@ -326,6 +340,129 @@ class TestArrayBundles:
         path = write_arrays(tmp_path / "bundle.NPZ", arrays)
         assert path.name == "bundle.NPZ"
         np.testing.assert_array_equal(read_arrays(path)["ids"], arrays["ids"])
+
+
+class TestIntegrityVerification:
+    """Corrupted-persistence coverage: every damage class a bundle can
+    suffer on disk maps to the right :class:`IndexIntegrityError` kind at
+    the right verify level — and checksum-less legacy bundles keep
+    loading."""
+
+    def _saved(self, tmp_path):
+        points = hamming.random_points(60, 16, rng=0)
+        queries = points[:10]
+        index = build_index(
+            points, kind="raw", family="bit_sampling", n_tables=2, rng=0
+        )
+        save_index(index, tmp_path / "idx")
+        return index, tmp_path / "idx", queries
+
+    def _edit_sidecar(self, base, mutate):
+        _, json_path = index_paths(base)
+        sidecar = json.loads(json_path.read_text())
+        mutate(sidecar)
+        json_path.write_text(json.dumps(sidecar))
+
+    def test_truncation_caught_at_every_level(self, tmp_path):
+        _, base, _ = self._saved(tmp_path)
+        faults.truncate_bundle(base, 0.5)
+        for verify in ("lazy", "eager"):
+            with pytest.raises(IndexIntegrityError) as excinfo:
+                load_index(base, verify=verify)
+            assert excinfo.value.kind == "truncated"
+        with pytest.raises(IndexIntegrityError):
+            verify_saved_index(base, verify="lazy")
+
+    def test_bit_flip_caught_by_eager_only(self, tmp_path):
+        """In-place corruption keeps the size: lazy (O(1)) admits it —
+        the documented trade-off — while eager re-checksums and rejects."""
+        _, base, queries = self._saved(tmp_path)
+        faults.corrupt_bundle(base)
+        with pytest.raises(IndexIntegrityError) as excinfo:
+            load_index(base, verify="eager")
+        assert excinfo.value.kind == "checksum"
+        # Lazy load itself succeeds — the corrupted bytes are admitted
+        # (queries over them may then fail arbitrarily; that is the
+        # documented price of the O(1) check).
+        loaded = load_index(base, verify="lazy")
+        assert loaded.n_points == 60
+
+    def test_size_skew_modes(self, tmp_path):
+        """The recorded archive size is the lazy check; ``verify="off"``
+        skips it and serves the (readable) bundle regardless."""
+        index, base, queries = self._saved(tmp_path)
+        reference = index.batch_query(queries)
+        self._edit_sidecar(
+            base, lambda s: s["integrity"].__setitem__(
+                "npz_nbytes", s["integrity"]["npz_nbytes"] + 1
+            )
+        )
+        for verify in ("lazy", "eager"):
+            with pytest.raises(IndexIntegrityError) as excinfo:
+                load_index(base, verify=verify)
+            assert excinfo.value.kind == "truncated"
+        loaded = load_index(base, verify="off")
+        for a, b in zip(reference, loaded.batch_query(queries)):
+            assert a.indices == b.indices and a.stats == b.stats
+
+    def test_member_skew_is_a_manifest_error(self, tmp_path):
+        _, base, _ = self._saved(tmp_path)
+
+        def flip_dtype(sidecar):
+            members = sidecar["integrity"]["members"]
+            record = members[sorted(members)[0]]
+            record["dtype"] = "<i2"
+
+        self._edit_sidecar(base, flip_dtype)
+        with pytest.raises(IndexIntegrityError) as excinfo:
+            load_index(base, verify="eager")
+        assert excinfo.value.kind == "manifest"
+
+    def test_legacy_sidecar_without_checksums_still_loads(self, tmp_path):
+        """Bundles saved before integrity records existed have no
+        ``"integrity"`` block; every verify level must accept them."""
+        index, base, queries = self._saved(tmp_path)
+        reference = index.batch_query(queries)
+        self._edit_sidecar(base, lambda s: s.pop("integrity"))
+        verify_saved_index(base, verify="eager")  # no record: no raise
+        for verify in ("lazy", "eager", "off"):
+            loaded = load_index(base, verify=verify)
+            for a, b in zip(reference, loaded.batch_query(queries)):
+                assert a.indices == b.indices and a.stats == b.stats
+
+    def test_unknown_verify_mode_rejected(self, tmp_path):
+        _, base, _ = self._saved(tmp_path)
+        with pytest.raises(ValueError, match="verify mode"):
+            load_index(base, verify="paranoid")
+        with pytest.raises(ValueError, match="verify mode"):
+            verify_saved_index(base, verify="sometimes")
+
+    def test_sharded_manifest_coherence(self, tmp_path):
+        points = hamming.random_points(60, 16, rng=0)
+        spec = IndexSpec(
+            kind="raw", family="bit_sampling", family_params={"d": 16},
+            n_tables=2, backend="packed", seed=0, shards=2,
+        )
+        ShardedIndex(points, spec).save(tmp_path / "srv")
+        verify_saved_index(tmp_path / "srv")  # pristine: healthy
+
+        def drop_shard(sidecar):
+            sidecar["shards"] = sidecar["shards"][:1]
+
+        self._edit_sidecar(tmp_path / "srv", drop_shard)
+        with pytest.raises(IndexIntegrityError) as excinfo:
+            load_index(tmp_path / "srv")
+        assert excinfo.value.kind == "manifest"
+
+    def test_integrity_error_contract(self):
+        """It is a ValueError (callers catching the historic type keep
+        working) and survives the executor's pickle pipe intact."""
+        error = IndexIntegrityError("bundle went bad", kind="checksum")
+        assert isinstance(error, ValueError)
+        revived = pickle.loads(pickle.dumps(error))
+        assert type(revived) is IndexIntegrityError
+        assert revived.kind == "checksum"
+        assert str(revived) == "bundle went bad"
 
 
 class TestRngState:
