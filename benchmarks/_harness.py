@@ -21,23 +21,33 @@ import pathlib
 import statistics
 import subprocess
 import time
+from typing import Any, Callable, TypeVar
+
+import numpy as np
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
+T = TypeVar("T")
 
-def timed(fn):
+
+def timed(fn: Callable[[], T]) -> tuple[T, float]:
     """Run ``fn`` once; return ``(result, wall_seconds)``."""
     start = time.perf_counter()
     out = fn()
     return out, time.perf_counter() - start
 
 
-def median_time(fn, repeats: int) -> float:
+def median_time(fn: Callable[[], object], repeats: int) -> float:
     """Median wall time of ``repeats`` runs of ``fn`` (result discarded)."""
     return statistics.median(timed(fn)[1] for _ in range(repeats))
 
 
-def clustered_hamming(prototypes, n, rng, noise=0.005):
+def clustered_hamming(
+    prototypes: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    noise: float = 0.005,
+) -> np.ndarray:
     """Noisy copies of shared cluster prototypes — the workload LSH indexes
     exist for: a query rendezvouses with its cluster-mates in most tables,
     so buckets are Zipfian and retrievals duplicate-heavy.  ``noise`` is
@@ -65,8 +75,8 @@ def report(
     name: str,
     lines: list[str],
     *,
-    metrics: dict | None = None,
-    config: dict | None = None,
+    metrics: dict[str, Any] | None = None,
+    config: dict[str, Any] | None = None,
 ) -> pathlib.Path:
     """Write ``lines`` to ``results/<name>.txt``, print them, and emit the
     machine-readable ``results/BENCH_<name>.json`` twin.

@@ -5,7 +5,9 @@ this repo: when there are none — the committed baseline is empty) and 1
 otherwise, so the command slots directly into CI.  ``--format json``
 emits a machine-readable report (uploaded as a CI artifact);
 ``--write-baseline`` snapshots the current violations to adopt the gate
-on a dirty tree.
+on a dirty tree; ``--graph dot|json`` dumps the import graph instead of
+linting; ``--cache-dir`` enables the on-disk AST cache so warm runs
+skip re-parsing unchanged files.
 """
 
 from __future__ import annotations
@@ -16,7 +18,8 @@ import sys
 from typing import Sequence
 
 from repro.analysis.baseline import load_baseline, write_baseline
-from repro.analysis.engine import Violation, collect_files, run_files
+from repro.analysis.engine import Violation
+from repro.analysis.project import AstCache, Project, run_project
 from repro.analysis.rules import ALL_RULES, RULES_BY_ID
 
 __all__ = ["main", "build_parser"]
@@ -29,9 +32,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
-            "Repo-specific invariant linter: AST rules RR001-RR006 "
-            "enforcing the RNG, dtype, transport, API-surface, hygiene, "
-            "and clip-discipline contracts of this codebase."
+            "Repo-specific invariant linter: whole-program rules "
+            "RR001-RR011 enforcing the RNG, dtype, transport, "
+            "API-surface, hygiene, clip-discipline, broad-except, "
+            "resource-lifecycle, exception-flow, process-boundary, and "
+            "layering contracts of this codebase."
         ),
     )
     parser.add_argument(
@@ -71,6 +76,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule registry (id, name, rationale) and exit",
     )
+    parser.add_argument(
+        "--graph",
+        choices=("dot", "json"),
+        default=None,
+        help=(
+            "dump the import graph (dot: package-level layering diagram; "
+            "json: module-level edges + cycles) instead of linting"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "directory for the on-disk AST cache keyed by "
+            "(path, mtime_ns, size); unchanged files skip re-parsing"
+        ),
+    )
     return parser
 
 
@@ -99,11 +122,15 @@ def _print_json(
     baselined: list[Violation],
     stale: int,
     errors: list[str],
-    n_files: int,
+    stats: dict[str, int],
 ) -> None:
     payload = {
         "version": 1,
-        "files_checked": n_files,
+        "files_checked": stats.get("files", 0),
+        "cache": {
+            "parsed": stats.get("parsed", 0),
+            "hits": stats.get("cache_hits", 0),
+        },
         "rules": [
             {
                 "id": rule.rule_id,
@@ -121,6 +148,25 @@ def _print_json(
     print()
 
 
+def _select_rules(raw: str) -> list[str] | None:
+    """Parse ``--select``; ``None`` means an unknown/empty selection."""
+    wanted = [
+        code.strip().upper() for code in raw.split(",") if code.strip()
+    ]
+    if not wanted:
+        print("--select got an empty rule list", file=sys.stderr)
+        return None
+    unknown = [code for code in wanted if code not in RULES_BY_ID]
+    if unknown:
+        print(
+            f"unknown rule id(s): {', '.join(unknown)}; "
+            f"known: {', '.join(RULES_BY_ID)}",
+            file=sys.stderr,
+        )
+        return None
+    return wanted
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
@@ -128,24 +174,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         for rule in ALL_RULES:
             print(f"{rule.rule_id}  {rule.name}\n    {rule.rationale}")
         return 0
+    cache = AstCache(args.cache_dir) if args.cache_dir else None
+    if args.graph is not None:
+        try:
+            project, errors = Project.load(args.paths, cache)
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        for message in errors:
+            print(f"parse error: {message}", file=sys.stderr)
+        if args.graph == "dot":
+            sys.stdout.write(project.to_dot())
+        else:
+            json.dump(project.to_json(), sys.stdout, indent=2, sort_keys=True)
+            print()
+        return 1 if errors else 0
     rules = list(ALL_RULES)
     if args.select is not None:
-        wanted = [code.strip().upper() for code in args.select.split(",")]
-        unknown = [code for code in wanted if code not in RULES_BY_ID]
-        if unknown:
-            print(
-                f"unknown rule id(s): {', '.join(unknown)}; "
-                f"known: {', '.join(RULES_BY_ID)}",
-                file=sys.stderr,
-            )
+        wanted = _select_rules(args.select)
+        if wanted is None:
             return 2
         rules = [RULES_BY_ID[code] for code in wanted]
     try:
-        files = collect_files(args.paths)
+        violations, errors, project = run_project(args.paths, rules, cache)
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    violations, errors = run_files(files, rules)
     if args.write_baseline:
         write_baseline(args.baseline, violations)
         print(
@@ -155,7 +209,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     baseline = load_baseline(args.baseline)
     new, baselined, stale = baseline.partition(violations)
     if args.format == "json":
-        _print_json(new, baselined, stale, errors, len(files))
+        _print_json(new, baselined, stale, errors, project.stats)
     else:
-        _print_human(new, baselined, stale, errors, len(files))
+        _print_human(new, baselined, stale, errors, project.stats.get("files", 0))
     return 1 if new or errors else 0

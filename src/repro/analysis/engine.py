@@ -21,9 +21,14 @@ from __future__ import annotations
 
 import ast
 import dataclasses
+import io
 import pathlib
 import re
-from typing import Iterable, Iterator, Sequence
+import tokenize
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:
+    from repro.analysis.project import Project
 
 __all__ = [
     "Violation",
@@ -80,11 +85,13 @@ class SourceFile:
     the sanctioned dtype-narrowing site in ``PackedBackend.build``).
     """
 
-    def __init__(self, path: str, text: str) -> None:
+    def __init__(
+        self, path: str, text: str, tree: ast.Module | None = None
+    ) -> None:
         self.path = path.replace("\\", "/")
         self.text = text
         self.lines = text.splitlines()
-        self.tree = ast.parse(text, filename=path)
+        self.tree = tree if tree is not None else ast.parse(text, filename=path)
         self._attach_parents()
         self._func_spans: list[tuple[int, int, str]] = []
         self._index_functions()
@@ -105,8 +112,8 @@ class SourceFile:
         self._func_spans.sort(key=lambda span: span[1] - span[0])
 
     def _scan_noqa(self) -> None:
-        for lineno, line in enumerate(self.lines, start=1):
-            match = _NOQA_RE.search(line)
+        for lineno, comment in self._iter_comments():
+            match = _NOQA_RE.search(comment)
             if match is None:
                 continue
             codes = match.group("codes")
@@ -116,6 +123,28 @@ class SourceFile:
                 self._noqa[lineno] = frozenset(
                     code.strip().upper() for code in codes.split(",")
                 )
+
+    def _iter_comments(self) -> Iterator[tuple[int, str]]:
+        """Yield ``(lineno, comment_text)`` for real ``#`` comments only.
+
+        Tokenizing (rather than regexing whole lines) keeps noqa-looking
+        text inside string literals from suppressing anything — a string
+        containing ``"# noqa"`` is data, not a directive.
+        """
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(self.text).readline)
+            )
+        except (tokenize.TokenError, IndentationError):
+            # The file parsed as AST but confused the tokenizer (rare;
+            # e.g. trailing backslash edge cases) — fall back to the
+            # line-based scan so suppressions keep working.
+            for lineno, line in enumerate(self.lines, start=1):
+                yield lineno, line
+            return
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
 
     def enclosing_function(self, line: int) -> str | None:
         """Name of the innermost function containing ``line``, if any."""
@@ -152,6 +181,18 @@ class Rule:
     rule_id: str = "RR000"
     name: str = "abstract"
     rationale: str = ""
+
+    #: Whole-program context for flow-aware rules; ``None`` when linting
+    #: a lone file outside :func:`repro.analysis.project.run_project`.
+    _project: "Project | None" = None
+
+    def set_project(self, project: "Project | None") -> None:
+        """Attach (or detach, with ``None``) whole-program context.
+
+        Rule instances in the registry are singletons, so the runner is
+        responsible for resetting this to ``None`` after a project run.
+        """
+        self._project = project
 
     def check(self, src: SourceFile) -> Iterator[Violation]:
         """Yield every violation of this rule in ``src``."""

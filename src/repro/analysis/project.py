@@ -1,0 +1,1476 @@
+"""Whole-program semantic model behind the flow-aware lint rules.
+
+:class:`Project` parses every file once (through an optional on-disk
+:class:`AstCache` keyed by ``(path, mtime_ns, size)``), builds a
+module-level symbol table and an import graph (eager vs lazy edges), and
+resolves calls through a conservative name-resolution call graph: it
+follows ``from x import y as z`` aliasing and re-exports through
+``__init__``, dispatches method calls on classes whose construction it
+can see (including ``staticmethod``/``classmethod`` access via the class
+name, ``self``/``cls``, and annotated parameters), and unwraps
+``functools.partial`` and executor ``submit``/``map`` targets.  Lambdas
+and calls through values it cannot type are *conservatively unresolved*
+— recorded as such, never guessed.
+
+On top of the model it offers the queries the RR008–RR011 rules and the
+CLI need: per-function raise-sets propagated to a fixpoint through the
+call graph (filtered by enclosing ``try/except`` handlers), executor
+submissions with their resolved targets, package-layer assignments for
+the layering contract, import-cycle detection, and ``dot``/``json``
+graph dumps for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import dataclasses
+import hashlib
+import pathlib
+import pickle
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.analysis.engine import (
+    Rule,
+    SourceFile,
+    Violation,
+    dotted_name,
+    run_source,
+)
+
+__all__ = [
+    "PACKAGE_LAYERS",
+    "AstCache",
+    "ImportEdge",
+    "ProjectModule",
+    "Project",
+    "Submission",
+    "layer_of",
+    "module_name_for_path",
+    "project_context",
+    "run_project",
+]
+
+#: Allowed layering of the ``repro`` package, lowest layer first.  A
+#: module may only *eagerly* import same-or-lower layers; lazy
+#: (function-scoped or ``TYPE_CHECKING``) imports are exempt.  The
+#: ``analysis`` package and the root ``repro/__init__`` sit above the
+#: stack: they may import anything.
+PACKAGE_LAYERS: Mapping[str, int] = {
+    "utils": 0,
+    "core": 0,
+    "spaces": 0,
+    "families": 1,
+    "bounds": 1,
+    "booleancube": 1,
+    "index": 2,
+    "data": 2,
+    "privacy": 2,
+    "api": 3,
+    "serving": 4,
+}
+
+_TOOL_PACKAGES = frozenset({"analysis"})
+
+
+def layer_of(module: str) -> int | None:
+    """Layer rank of a dotted ``repro`` module, ``None`` if unranked.
+
+    Unranked modules (the ``analysis`` tooling package, the root
+    ``repro`` package itself, and anything outside ``repro``) are exempt
+    from the layering contract.
+    """
+    parts = module.split(".")
+    if parts[0] != "repro" or len(parts) == 1:
+        return None
+    if parts[1] in _TOOL_PACKAGES:
+        return None
+    return PACKAGE_LAYERS.get(parts[1])
+
+
+def module_name_for_path(path: str) -> str:
+    """Best-effort dotted module name for a source path.
+
+    Drops a trailing ``__init__`` and everything up to and including a
+    ``src`` component, so ``src/repro/api.py`` maps to ``repro.api``.
+    Used for in-memory sources; :meth:`Project.load` computes names from
+    real package directories instead.
+    """
+    posix = path.replace("\\", "/")
+    if posix.endswith(".py"):
+        posix = posix[: -len(".py")]
+    parts = [part for part in posix.split("/") if part not in ("", ".")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "src" in parts:
+        cut = len(parts) - 1 - parts[::-1].index("src")
+        parts = parts[cut + 1 :]
+    return ".".join(parts)
+
+
+@dataclasses.dataclass(frozen=True)
+class ImportEdge:
+    """One import statement binding, as seen by the graph.
+
+    ``symbol`` is the imported name for ``from target import symbol``
+    forms (``"*"`` for star imports) and ``None`` for plain ``import
+    target`` forms.  ``lazy`` marks function-scoped or
+    ``TYPE_CHECKING``-guarded imports, which the layering rule exempts.
+    """
+
+    importer: str
+    target: str
+    symbol: str | None
+    alias: str
+    line: int
+    lazy: bool
+
+
+@dataclasses.dataclass(eq=False)
+class Submission:
+    """One callable handed to an executor via ``submit``/``map``.
+
+    ``pool_kind`` is ``"process"`` or ``"thread"`` from the inferred
+    executor type; ``target_kind`` is ``"resolved"``, ``"lambda"``, or
+    ``"unresolved"`` (the conservative bucket for callables the resolver
+    cannot type).  ``target`` is the resolved ``(module, qualname)``
+    when ``target_kind == "resolved"``.
+    """
+
+    module: str
+    function: str
+    node: ast.Call = dataclasses.field(repr=False)
+    pool_kind: str = "process"
+    target_kind: str = "unresolved"
+    target: tuple[str, str] | None = None
+    via_partial: bool = False
+    has_lambda_arg: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class _Symbol:
+    kind: str  # "function" | "class" | "import" | "assign"
+    edge: ImportEdge | None = None
+
+
+@dataclasses.dataclass(eq=False)
+class _ClassInfo:
+    name: str
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef]
+    method_kinds: dict[str, str]  # "instance" | "static" | "class"
+
+
+@dataclasses.dataclass(eq=False)
+class _FuncFacts:
+    callees: list[tuple[tuple[str, str], frozenset[str]]]
+    raises: list[tuple[tuple[str, str], frozenset[str]]]
+    submissions: list[Submission]
+
+
+class AstCache:
+    """On-disk AST cache keyed by ``(path, mtime_ns, size)``.
+
+    Entries are pickles of ``(key, tree)`` stored under a hash of the
+    absolute path; a stale or unreadable entry is treated as a miss, so
+    the cache can never produce wrong trees, only re-parses.
+    """
+
+    def __init__(self, directory: str | pathlib.Path) -> None:
+        self.directory = pathlib.Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _slot(self, path: pathlib.Path) -> pathlib.Path:
+        digest = hashlib.sha256(
+            str(path.resolve()).encode("utf-8")
+        ).hexdigest()
+        return self.directory / f"{digest}.ast.pkl"
+
+    def _key(self, path: pathlib.Path) -> tuple[str, int, int] | None:
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        return (str(path.resolve()), stat.st_mtime_ns, stat.st_size)
+
+    def load(self, path: str | pathlib.Path) -> ast.Module | None:
+        """Return the cached tree for ``path`` if still fresh, else ``None``."""
+        source = pathlib.Path(path)
+        key = self._key(source)
+        if key is None:
+            self.misses += 1
+            return None
+        try:
+            payload = self._slot(source).read_bytes()
+            stored_key, tree = pickle.loads(payload)
+        except Exception:  # noqa: RR007 - any corruption is just a miss
+            self.misses += 1
+            return None
+        if stored_key != key or not isinstance(tree, ast.Module):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return tree
+
+    def store(self, path: str | pathlib.Path, tree: ast.Module) -> None:
+        """Persist ``tree`` for ``path``; failures are silently dropped."""
+        source = pathlib.Path(path)
+        key = self._key(source)
+        if key is None:
+            return
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._slot(source).write_bytes(
+                pickle.dumps((key, tree), protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        except OSError:
+            return
+
+
+class ProjectModule:
+    """One parsed module: source, import edges, and symbol table."""
+
+    def __init__(self, name: str, source: SourceFile, is_package: bool) -> None:
+        self.name = name
+        self.source = source
+        self.is_package = is_package
+        self.imports: list[ImportEdge] = []
+        self.symbols: dict[str, _Symbol] = {}
+        self.classes: dict[str, _ClassInfo] = {}
+        self.functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        self._build()
+
+    @property
+    def package_parts(self) -> tuple[str, ...]:
+        """Dotted parts of the package that relative imports resolve in."""
+        parts = self.name.split(".")
+        return tuple(parts if self.is_package else parts[:-1])
+
+    def _build(self) -> None:
+        self._scan_body(self.tree.body, lazy=False, module_scope=True)
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_body(node.body, lazy=True, module_scope=False)
+
+    @property
+    def tree(self) -> ast.Module:
+        """The module's AST (shared with :class:`SourceFile`)."""
+        return self.source.tree
+
+    def _scan_body(
+        self, body: Sequence[ast.stmt], lazy: bool, module_scope: bool
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Import):
+                self._record_import(stmt, lazy, module_scope)
+            elif isinstance(stmt, ast.ImportFrom):
+                self._record_import_from(stmt, lazy, module_scope)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if module_scope:
+                    self.symbols[stmt.name] = _Symbol("function")
+                    self.functions[stmt.name] = stmt
+            elif isinstance(stmt, ast.ClassDef):
+                if module_scope:
+                    self.symbols[stmt.name] = _Symbol("class")
+                    self._record_class(stmt)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                if module_scope:
+                    for name in _assigned_names(stmt):
+                        self.symbols.setdefault(name, _Symbol("assign"))
+            elif isinstance(stmt, ast.If):
+                branch_lazy = lazy or _is_type_checking_test(stmt.test)
+                self._scan_body(stmt.body, branch_lazy, module_scope)
+                self._scan_body(stmt.orelse, lazy, module_scope)
+            elif isinstance(stmt, ast.Try):
+                for block in (stmt.body, stmt.orelse, stmt.finalbody):
+                    self._scan_body(block, lazy, module_scope)
+                for handler in stmt.handlers:
+                    self._scan_body(handler.body, lazy, module_scope)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._scan_body(stmt.body, lazy, module_scope)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                self._scan_body(stmt.body, lazy, module_scope)
+                self._scan_body(stmt.orelse, lazy, module_scope)
+
+    def _record_import(
+        self, stmt: ast.Import, lazy: bool, module_scope: bool
+    ) -> None:
+        for alias in stmt.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            edge = ImportEdge(
+                importer=self.name,
+                target=alias.name,
+                symbol=None,
+                alias=bound,
+                line=stmt.lineno,
+                lazy=lazy,
+            )
+            self.imports.append(edge)
+            if module_scope:
+                self.symbols[bound] = _Symbol("import", edge)
+
+    def _record_import_from(
+        self, stmt: ast.ImportFrom, lazy: bool, module_scope: bool
+    ) -> None:
+        if stmt.level:
+            base = list(self.package_parts)
+            if stmt.level > 1:
+                base = base[: len(base) - (stmt.level - 1)]
+            target_parts = base + (stmt.module.split(".") if stmt.module else [])
+            target = ".".join(target_parts)
+        else:
+            target = stmt.module or ""
+        if not target:
+            return
+        for alias in stmt.names:
+            bound = alias.asname or alias.name
+            edge = ImportEdge(
+                importer=self.name,
+                target=target,
+                symbol=alias.name,
+                alias=bound,
+                line=stmt.lineno,
+                lazy=lazy,
+            )
+            self.imports.append(edge)
+            if module_scope and alias.name != "*":
+                self.symbols[bound] = _Symbol("import", edge)
+
+    def _record_class(self, stmt: ast.ClassDef) -> None:
+        bases = tuple(
+            dotted for dotted in (dotted_name(base) for base in stmt.bases)
+            if dotted is not None
+        )
+        methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        kinds: dict[str, str] = {}
+        for member in stmt.body:
+            if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            methods[member.name] = member
+            kind = "instance"
+            for decorator in member.decorator_list:
+                leaf = dotted_name(decorator)
+                if leaf == "staticmethod":
+                    kind = "static"
+                elif leaf == "classmethod":
+                    kind = "class"
+            kinds[member.name] = kind
+        self.classes[stmt.name] = _ClassInfo(
+            name=stmt.name,
+            node=stmt,
+            bases=bases,
+            methods=methods,
+            method_kinds=kinds,
+        )
+
+
+def _assigned_names(stmt: ast.Assign | ast.AnnAssign) -> Iterator[str]:
+    targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+    for target in targets:
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    yield element.id
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    dotted = dotted_name(test)
+    return dotted is not None and dotted.split(".")[-1] == "TYPE_CHECKING"
+
+
+def _walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk one scope's nodes without descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        if isinstance(
+            current,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _builtin_exception_ancestors(name: str) -> tuple[str, ...] | None:
+    obj = getattr(builtins, name, None)
+    if isinstance(obj, type) and issubclass(obj, BaseException):
+        return tuple(cls.__name__ for cls in obj.__mro__[1:])
+    return None
+
+
+_EXECUTOR_LEAVES = {
+    "ProcessPoolExecutor": "process",
+    "ThreadPoolExecutor": "thread",
+}
+
+
+class Project:
+    """Whole-program model: modules, import graph, call graph, raise-sets.
+
+    Build one with :meth:`from_sources` (in-memory, used by tests and
+    the single-file fallback) or :meth:`load` (from disk, optionally
+    through an :class:`AstCache`).  All derived structures — function
+    facts, raise-set fixpoint, cycles — are computed lazily and cached
+    on the instance; a Project is immutable once built.
+    """
+
+    def __init__(
+        self,
+        modules: Mapping[str, ProjectModule],
+        stats: Mapping[str, int] | None = None,
+    ) -> None:
+        self.modules: dict[str, ProjectModule] = dict(modules)
+        self.stats: dict[str, int] = dict(stats or {})
+        self.stats.setdefault("files", len(self.modules))
+        self._path_index = {
+            mod.source.path: name for name, mod in self.modules.items()
+        }
+        self._facts: dict[tuple[str, str], _FuncFacts] | None = None
+        self._raise_cache: dict[tuple[str, str], frozenset[tuple[str, str]]] | None = None
+        self._cycles: tuple[tuple[str, ...], ...] | None = None
+        self._process_attrs: frozenset[str] | None = None
+        self._thread_attrs: frozenset[str] | None = None
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_sources(
+        cls,
+        sources: Sequence[SourceFile],
+        names: Sequence[str] | None = None,
+    ) -> "Project":
+        """Build a project from already-parsed sources.
+
+        ``names`` supplies dotted module names aligned with ``sources``;
+        when omitted they are derived with :func:`module_name_for_path`.
+        """
+        if names is None:
+            names = [module_name_for_path(src.path) for src in sources]
+        modules: dict[str, ProjectModule] = {}
+        for name, src in zip(names, sources):
+            is_package = src.path.endswith("__init__.py")
+            modules[name] = ProjectModule(name, src, is_package)
+        return cls(modules, {"files": len(modules)})
+
+    @classmethod
+    def load(
+        cls,
+        paths: Sequence[str | pathlib.Path],
+        cache: AstCache | None = None,
+    ) -> tuple["Project", list[str]]:
+        """Parse files/directories from disk into a project.
+
+        Returns ``(project, parse_errors)``.  Module names are derived
+        from package directories (walking ``__init__.py`` markers above
+        each argument), so both ``src`` and deeper anchors work.  When
+        ``cache`` is given, unchanged files reuse their pickled trees
+        and the project's ``stats`` report ``cache_hits``/``parsed``.
+        """
+        entries: dict[pathlib.Path, str] = {}
+        for raw in paths:
+            anchor = pathlib.Path(raw)
+            if anchor.is_dir():
+                prefix = _package_prefix(anchor)
+                for file in sorted(anchor.rglob("*.py")):
+                    rel = file.relative_to(anchor)
+                    entries[file] = _dotted_from_parts(prefix + list(rel.parts))
+            elif anchor.suffix == ".py":
+                prefix = _package_prefix(anchor.parent)
+                entries[anchor] = _dotted_from_parts(prefix + [anchor.name])
+            else:
+                raise FileNotFoundError(
+                    f"not a python file or directory: {anchor}"
+                )
+        sources: list[SourceFile] = []
+        names: list[str] = []
+        errors: list[str] = []
+        parsed = 0
+        hits = 0
+        for file, name in sorted(entries.items(), key=lambda item: str(item[0])):
+            try:
+                text = file.read_text(encoding="utf-8")
+            except OSError as exc:
+                errors.append(f"{file}: {exc}")
+                continue
+            tree = cache.load(file) if cache is not None else None
+            if tree is None:
+                try:
+                    tree = ast.parse(text, filename=str(file))
+                except SyntaxError as exc:
+                    errors.append(f"{file}: {exc.msg} (line {exc.lineno})")
+                    continue
+                parsed += 1
+                if cache is not None:
+                    cache.store(file, tree)
+            else:
+                hits += 1
+            sources.append(SourceFile(str(file), text, tree=tree))
+            names.append(name)
+        project = cls.from_sources(sources, names)
+        project.stats.update(
+            {"files": len(sources), "parsed": parsed, "cache_hits": hits}
+        )
+        return project, errors
+
+    # -- lookups ------------------------------------------------------
+
+    def module_for(self, path: str) -> ProjectModule | None:
+        """The module whose source file is ``path`` (posix-normalized)."""
+        name = self._path_index.get(path.replace("\\", "/"))
+        return self.modules.get(name) if name is not None else None
+
+    def resolve(self, module: str, dotted: str) -> tuple[str, str] | None:
+        """Resolve a dotted reference in ``module`` to ``(module, qualname)``.
+
+        Handles plain names, import aliases (including chained
+        re-exports through ``__init__``), module-attribute references
+        like ``np.memmap`` or ``faults.fault_point``, and
+        ``ClassName.method`` access.  Returns ``None`` when the
+        reference cannot be conservatively resolved.
+        """
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            return self._resolve_symbol(module, parts[0], frozenset())
+        alias = self._module_alias(module, parts)
+        if alias is not None:
+            target_module, rest = alias
+            if not rest:
+                return None
+            if len(rest) == 1:
+                if target_module in self.modules:
+                    return self._resolve_symbol(
+                        target_module, rest[0], frozenset()
+                    )
+                return (target_module, rest[0])
+            resolved = self.resolve(target_module, ".".join(rest))
+            if resolved is not None:
+                return resolved
+            base = self._resolve_symbol(target_module, rest[0], frozenset())
+            if base is not None and len(rest) == 2:
+                return self._class_member(base, rest[1])
+            return None
+        base = self._resolve_symbol(module, parts[0], frozenset())
+        if base is not None and len(parts) == 2:
+            return self._class_member(base, parts[1])
+        return None
+
+    def _class_member(
+        self, base: tuple[str, str], member: str
+    ) -> tuple[str, str] | None:
+        base_module, base_name = base
+        if base_module in self.modules:
+            info = self.modules[base_module].classes.get(base_name)
+            if info is not None:
+                found = self._find_method(base_module, base_name, member)
+                if found is not None:
+                    return found
+                return (base_module, f"{base_name}.{member}")
+        return None
+
+    def _resolve_symbol(
+        self, module: str, name: str, seen: frozenset[tuple[str, str]]
+    ) -> tuple[str, str] | None:
+        if module not in self.modules:
+            return (module, name)
+        mod = self.modules[module]
+        symbol = mod.symbols.get(name)
+        if symbol is None:
+            return None
+        if symbol.kind != "import":
+            return (module, name)
+        edge = symbol.edge
+        if edge is None or edge.symbol is None or edge.symbol == "*":
+            return None
+        key = (edge.target, edge.symbol)
+        if key in seen:
+            return None
+        if edge.target in self.modules:
+            target_mod = self.modules[edge.target]
+            if edge.symbol in target_mod.symbols:
+                return self._resolve_symbol(
+                    edge.target, edge.symbol, seen | {key}
+                )
+            return None
+        if f"{edge.target}.{edge.symbol}" in self.modules:
+            return None
+        return (edge.target, edge.symbol)
+
+    def _module_alias(
+        self, module: str, parts: Sequence[str]
+    ) -> tuple[str, list[str]] | None:
+        """If ``parts[0]`` is bound to a module, return it plus the rest."""
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        symbol = mod.symbols.get(parts[0])
+        if symbol is None or symbol.kind != "import" or symbol.edge is None:
+            return None
+        edge = symbol.edge
+        if edge.symbol is None:
+            root = edge.target if edge.alias != edge.target.split(".")[0] else edge.target.split(".")[0]
+            candidate_parts = root.split(".") + list(parts[1:])
+        else:
+            candidate = f"{edge.target}.{edge.symbol}"
+            if candidate not in self.modules:
+                return None
+            candidate_parts = candidate.split(".") + list(parts[1:])
+        # Longest prefix of candidate_parts that names a known module
+        # wins; otherwise fall back to the shortest sensible split.
+        for split in range(len(candidate_parts), 0, -1):
+            head = ".".join(candidate_parts[:split])
+            if head in self.modules:
+                return head, list(candidate_parts[split:])
+        if edge.symbol is None:
+            return edge.target, list(parts[1:])
+        return ".".join(candidate_parts[: len(candidate_parts) - len(parts) + 1]), list(parts[1:])
+
+    def _find_method(
+        self, module: str, cls: str, method: str
+    ) -> tuple[str, str] | None:
+        seen: set[tuple[str, str]] = set()
+        queue: list[tuple[str, str]] = [(module, cls)]
+        while queue:
+            cur_module, cur_cls = queue.pop(0)
+            if (cur_module, cur_cls) in seen or cur_module not in self.modules:
+                continue
+            seen.add((cur_module, cur_cls))
+            info = self.modules[cur_module].classes.get(cur_cls)
+            if info is None:
+                continue
+            if method in info.methods:
+                return (cur_module, f"{cur_cls}.{method}")
+            for base in info.bases:
+                resolved = self.resolve(cur_module, base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return None
+
+    # -- import graph -------------------------------------------------
+
+    def effective_target(self, edge: ImportEdge) -> str:
+        """The module an edge really points at (submodule-aware)."""
+        if edge.symbol and edge.symbol != "*":
+            candidate = f"{edge.target}.{edge.symbol}"
+            if candidate in self.modules:
+                return candidate
+        return edge.target
+
+    def import_edges(self, module: str | None = None) -> tuple[ImportEdge, ...]:
+        """All import edges, or just those of one module."""
+        if module is not None:
+            mod = self.modules.get(module)
+            return tuple(mod.imports) if mod is not None else ()
+        out: list[ImportEdge] = []
+        for mod in self.modules.values():
+            out.extend(mod.imports)
+        return tuple(out)
+
+    def eager_import_graph(self) -> dict[str, frozenset[str]]:
+        """Project-internal eager import adjacency (module → modules)."""
+        graph: dict[str, set[str]] = {name: set() for name in self.modules}
+        for mod in self.modules.values():
+            for edge in mod.imports:
+                if edge.lazy:
+                    continue
+                target = self.effective_target(edge)
+                if target in self.modules and target != mod.name:
+                    graph[mod.name].add(target)
+        return {name: frozenset(deps) for name, deps in graph.items()}
+
+    def import_cycles(self) -> tuple[tuple[str, ...], ...]:
+        """Strongly connected components of size > 1 in the eager graph."""
+        if self._cycles is None:
+            graph = self.eager_import_graph()
+            self._cycles = tuple(_sccs(graph))
+        return self._cycles
+
+    # -- function facts / call graph ----------------------------------
+
+    def _ensure_facts(self) -> dict[tuple[str, str], _FuncFacts]:
+        if self._facts is None:
+            self._scan_pool_attrs()
+            facts: dict[tuple[str, str], _FuncFacts] = {}
+            for name, mod in self.modules.items():
+                analyzer = _FunctionAnalyzer(self, mod)
+                for qual, node in _iter_scopes(mod):
+                    facts[(name, qual)] = analyzer.analyze(qual, node)
+            self._facts = facts
+        return self._facts
+
+    def _scan_pool_attrs(self) -> None:
+        process: set[str] = set()
+        thread: set[str] = set()
+        for mod in self.modules.values():
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                value = node.value
+                if not isinstance(value, ast.Call):
+                    continue
+                dotted = dotted_name(value.func)
+                if dotted is None:
+                    continue
+                kind = _EXECUTOR_LEAVES.get(dotted.split(".")[-1])
+                if kind is None:
+                    continue
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Attribute):
+                        (process if kind == "process" else thread).add(
+                            target.attr
+                        )
+        self._process_attrs = frozenset(process)
+        self._thread_attrs = frozenset(thread)
+
+    def callees(self, module: str, qualname: str) -> frozenset[tuple[str, str]]:
+        """Resolved direct callees of one function or method."""
+        facts = self._ensure_facts().get((module, qualname))
+        if facts is None:
+            return frozenset()
+        return frozenset(callee for callee, _ in facts.callees)
+
+    def reachable(self, module: str, qualname: str) -> frozenset[tuple[str, str]]:
+        """Functions transitively reachable from one entry point."""
+        facts = self._ensure_facts()
+        seen: set[tuple[str, str]] = set()
+        queue = [(module, qualname)]
+        while queue:
+            current = queue.pop()
+            if current in seen or current not in facts:
+                continue
+            seen.add(current)
+            for callee, _ in facts[current].callees:
+                queue.append(callee)
+        return frozenset(seen)
+
+    def raise_set(
+        self, module: str, qualname: str
+    ) -> frozenset[tuple[str, str]]:
+        """Exception classes that may escape one function.
+
+        Propagated to a fixpoint through the call graph; exceptions
+        swallowed by enclosing ``try/except`` handlers (without a bare
+        re-raise) are filtered at each hop.  Classes are ``(module,
+        name)`` pairs with ``("builtins", name)`` for builtins.
+        """
+        if self._raise_cache is None:
+            facts = self._ensure_facts()
+            sets: dict[tuple[str, str], set[tuple[str, str]]] = {}
+            for key, fact in facts.items():
+                sets[key] = {
+                    exc
+                    for exc, caught in fact.raises
+                    if not self._swallowed(exc, caught)
+                }
+            changed = True
+            while changed:
+                changed = False
+                for key, fact in facts.items():
+                    bucket = sets[key]
+                    before = len(bucket)
+                    for callee, caught in fact.callees:
+                        for exc in sets.get(callee, ()):
+                            if not self._swallowed(exc, caught):
+                                bucket.add(exc)
+                    if len(bucket) != before:
+                        changed = True
+            self._raise_cache = {
+                key: frozenset(bucket) for key, bucket in sets.items()
+            }
+        return self._raise_cache.get((module, qualname), frozenset())
+
+    def submissions(self, module: str | None = None) -> tuple[Submission, ...]:
+        """Executor submissions, project-wide or for one module."""
+        facts = self._ensure_facts()
+        out: list[Submission] = []
+        for (mod_name, _), fact in sorted(facts.items()):
+            if module is not None and mod_name != module:
+                continue
+            out.extend(fact.submissions)
+        return tuple(out)
+
+    # -- exception taxonomy -------------------------------------------
+
+    def exception_ancestors(self, exc: tuple[str, str]) -> tuple[str, ...]:
+        """Base-class names of an exception class, nearest first."""
+        module, name = exc
+        if module == "builtins":
+            return _builtin_exception_ancestors(name) or ()
+        out: list[str] = []
+        seen: set[tuple[str, str]] = set()
+        queue: list[tuple[str, str]] = [exc]
+        while queue:
+            cur = queue.pop(0)
+            if cur in seen:
+                continue
+            seen.add(cur)
+            cur_module, cur_name = cur
+            if cur != exc and cur_name not in out:
+                out.append(cur_name)
+            info = (
+                self.modules[cur_module].classes.get(cur_name)
+                if cur_module in self.modules
+                else None
+            )
+            if info is None:
+                builtin = _builtin_exception_ancestors(cur_name)
+                if builtin is not None:
+                    out.extend(base for base in builtin if base not in out)
+                continue
+            for base in info.bases:
+                leaf = base.split(".")[-1]
+                resolved = self.resolve(cur_module, base)
+                queue.append(
+                    resolved if resolved is not None else ("builtins", leaf)
+                )
+        return tuple(out)
+
+    def is_exception_class(self, ref: tuple[str, str]) -> bool:
+        """Whether ``(module, name)`` plausibly names an exception class."""
+        module, name = ref
+        if module == "builtins" or module not in self.modules:
+            return _builtin_exception_ancestors(name) is not None
+        info = self.modules[module].classes.get(name)
+        if info is None:
+            return False
+        ancestors = self.exception_ancestors(ref)
+        if any(
+            _builtin_exception_ancestors(base) is not None
+            or base in ("Exception", "BaseException")
+            for base in ancestors
+        ):
+            return True
+        return name.endswith(("Error", "Exception", "Warning"))
+
+    def _swallowed(
+        self, exc: tuple[str, str], caught: frozenset[str]
+    ) -> bool:
+        if not caught:
+            return False
+        names = {exc[1], *self.exception_ancestors(exc)}
+        return bool(names & caught)
+
+    # -- pool typing helpers (used by the analyzer) -------------------
+
+    def _pool_attr_kind(self, attr: str) -> str | None:
+        self._ensure_pool_attrs()
+        if self._process_attrs is not None and attr in self._process_attrs:
+            return "process"
+        if self._thread_attrs is not None and attr in self._thread_attrs:
+            return "thread"
+        return None
+
+    def _ensure_pool_attrs(self) -> None:
+        if self._process_attrs is None:
+            self._scan_pool_attrs()
+
+    # -- graph dumps --------------------------------------------------
+
+    def to_json(self) -> dict[str, object]:
+        """Module-level import graph payload for ``--graph json``."""
+        edges = []
+        for mod in sorted(self.modules.values(), key=lambda m: m.name):
+            for edge in mod.imports:
+                target = self.effective_target(edge)
+                if target not in self.modules:
+                    continue
+                edges.append(
+                    {
+                        "importer": edge.importer,
+                        "target": target,
+                        "lazy": edge.lazy,
+                        "line": edge.line,
+                    }
+                )
+        return {
+            "version": 1,
+            "modules": sorted(self.modules),
+            "packages": {
+                pkg: layer for pkg, layer in sorted(PACKAGE_LAYERS.items())
+            },
+            "edges": edges,
+            "cycles": [list(cycle) for cycle in self.import_cycles()],
+            "stats": dict(self.stats),
+        }
+
+    def to_dot(self) -> str:
+        """Package-level layering diagram for ``--graph dot``."""
+        packages: dict[str, int | None] = {}
+        pkg_edges: dict[tuple[str, str], bool] = {}
+        for mod in self.modules.values():
+            src_pkg = _package_of(mod.name)
+            if src_pkg is None:
+                continue
+            packages.setdefault(src_pkg, _pkg_layer(src_pkg))
+            for edge in mod.imports:
+                target = self.effective_target(edge)
+                if target not in self.modules:
+                    continue
+                dst_pkg = _package_of(target)
+                if dst_pkg is None or dst_pkg == src_pkg:
+                    continue
+                packages.setdefault(dst_pkg, _pkg_layer(dst_pkg))
+                key = (src_pkg, dst_pkg)
+                # An eager edge anywhere beats lazy-only.
+                pkg_edges[key] = pkg_edges.get(key, True) and edge.lazy
+        lines = [
+            "digraph repro_layering {",
+            '  rankdir="BT";',
+            "  node [shape=box];",
+        ]
+        for pkg in sorted(packages):
+            layer = packages[pkg]
+            label = pkg if layer is None else f"{pkg}\\nlayer {layer}"
+            lines.append(f'  "{pkg}" [label="{label}"];')
+        for (src_pkg, dst_pkg) in sorted(pkg_edges):
+            style = ' [style=dashed]' if pkg_edges[(src_pkg, dst_pkg)] else ""
+            lines.append(f'  "{src_pkg}" -> "{dst_pkg}"{style};')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def _package_of(module: str) -> str | None:
+    parts = module.split(".")
+    if parts[0] != "repro":
+        return parts[0] if parts else None
+    if len(parts) == 1:
+        return "repro"
+    return parts[1]
+
+
+def _pkg_layer(package: str) -> int | None:
+    return PACKAGE_LAYERS.get(package)
+
+
+def _package_prefix(directory: pathlib.Path) -> list[str]:
+    parts: list[str] = []
+    current = directory
+    while (current / "__init__.py").exists():
+        parts.append(current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    return list(reversed(parts))
+
+
+def _dotted_from_parts(parts: Sequence[str]) -> str:
+    cleaned = [part[:-3] if part.endswith(".py") else part for part in parts]
+    if cleaned and cleaned[-1] == "__init__":
+        cleaned = cleaned[:-1]
+    return ".".join(cleaned)
+
+
+def _iter_scopes(
+    mod: ProjectModule,
+) -> Iterator[tuple[str, ast.AST]]:
+    """Yield ``(qualname, scope_node)`` for the module body, functions,
+    and methods (nested defs stay inside their parent's scope)."""
+    yield "<module>", mod.tree
+    for name, node in mod.functions.items():
+        yield name, node
+    for cls_name, info in mod.classes.items():
+        for method_name, method in info.methods.items():
+            yield f"{cls_name}.{method_name}", method
+
+
+def _sccs(graph: Mapping[str, frozenset[str]]) -> list[tuple[str, ...]]:
+    """Tarjan SCCs of size > 1, each sorted, in deterministic order."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    out: list[tuple[str, ...]] = []
+
+    def strongconnect(node: str) -> None:
+        work: list[tuple[str, Iterator[str]]] = [
+            (node, iter(sorted(graph.get(node, ()))))
+        ]
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        while work:
+            current, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph.get(child, ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[current] = min(low[current], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[current])
+            if low[current] == index[current]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == current:
+                        break
+                if len(component) > 1:
+                    out.append(tuple(sorted(component)))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    out.sort()
+    return out
+
+
+class _FunctionAnalyzer:
+    """Per-scope fact extraction: callees, raises, submissions."""
+
+    def __init__(self, project: Project, mod: ProjectModule) -> None:
+        self.project = project
+        self.mod = mod
+
+    def analyze(self, qualname: str, scope: ast.AST) -> _FuncFacts:
+        """Extract callee edges, raise sites, and submissions for one scope."""
+        local_names, var_types, pool_vars = self._scan_locals(qualname, scope)
+        facts = _FuncFacts(callees=[], raises=[], submissions=[])
+        for node in _walk_scope(scope):
+            if isinstance(node, ast.Call):
+                self._handle_call(
+                    qualname, scope, node, local_names, var_types, pool_vars, facts
+                )
+            elif isinstance(node, ast.Raise):
+                self._handle_raise(qualname, scope, node, facts)
+        return facts
+
+    # -- locals -------------------------------------------------------
+
+    def _scan_locals(
+        self, qualname: str, scope: ast.AST
+    ) -> tuple[set[str], dict[str, tuple[str, str]], dict[str, str]]:
+        local_names: set[str] = set()
+        var_types: dict[str, tuple[str, str]] = {}
+        pool_vars: dict[str, str] = {}
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            params = (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+            for param in params:
+                local_names.add(param.arg)
+                if param.annotation is not None:
+                    self._note_annotation(param.arg, param.annotation, var_types)
+        for node in _walk_scope(scope):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._note_assignment(node, local_names, var_types, pool_vars)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    self._note_with_item(item, local_names, pool_vars)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for name in _target_names(node.target):
+                    local_names.add(name)
+        return local_names, var_types, pool_vars
+
+    def _note_annotation(
+        self,
+        name: str,
+        annotation: ast.expr,
+        var_types: dict[str, tuple[str, str]],
+    ) -> None:
+        dotted = dotted_name(annotation)
+        if dotted is None:
+            return
+        resolved = self.project.resolve(self.mod.name, dotted)
+        if resolved is not None and self._is_class(resolved):
+            var_types[name] = resolved
+
+    def _note_assignment(
+        self,
+        node: ast.Assign | ast.AnnAssign,
+        local_names: set[str],
+        var_types: dict[str, tuple[str, str]],
+        pool_vars: dict[str, str],
+    ) -> None:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        pairs: list[tuple[ast.expr, ast.expr | None]] = []
+        for target in targets:
+            if (
+                isinstance(target, ast.Tuple)
+                and isinstance(node.value, ast.Tuple)
+                and len(target.elts) == len(node.value.elts)
+            ):
+                pairs.extend(zip(target.elts, node.value.elts))
+            else:
+                pairs.append((target, node.value))
+        for target, value in pairs:
+            for name in _target_names(target):
+                local_names.add(name)
+                if value is None or not isinstance(target, ast.Name):
+                    continue
+                kind = self._value_pool_kind(value)
+                if kind is not None:
+                    pool_vars[name] = kind
+                    continue
+                if isinstance(value, ast.Call):
+                    dotted = dotted_name(value.func)
+                    if dotted is None:
+                        continue
+                    resolved = self.project.resolve(self.mod.name, dotted)
+                    if resolved is not None and self._is_class(resolved):
+                        var_types[name] = resolved
+
+    def _note_with_item(
+        self,
+        item: ast.withitem,
+        local_names: set[str],
+        pool_vars: dict[str, str],
+    ) -> None:
+        if item.optional_vars is None or not isinstance(
+            item.optional_vars, ast.Name
+        ):
+            return
+        name = item.optional_vars.id
+        local_names.add(name)
+        kind = self._value_pool_kind(item.context_expr)
+        if kind is not None:
+            pool_vars[name] = kind
+
+    def _value_pool_kind(self, value: ast.expr) -> str | None:
+        if isinstance(value, ast.Call):
+            dotted = dotted_name(value.func)
+            if dotted is not None:
+                kind = _EXECUTOR_LEAVES.get(dotted.split(".")[-1])
+                if kind is not None:
+                    return kind
+        dotted = dotted_name(value)
+        if dotted is not None and dotted.startswith(("self.", "cls.")):
+            attr = dotted.split(".")[-1]
+            return self.project._pool_attr_kind(attr)
+        return None
+
+    def _is_class(self, ref: tuple[str, str]) -> bool:
+        module, name = ref
+        return (
+            module in self.project.modules
+            and name in self.project.modules[module].classes
+        )
+
+    # -- calls --------------------------------------------------------
+
+    def _handle_call(
+        self,
+        qualname: str,
+        scope: ast.AST,
+        node: ast.Call,
+        local_names: set[str],
+        var_types: dict[str, tuple[str, str]],
+        pool_vars: dict[str, str],
+        facts: _FuncFacts,
+    ) -> None:
+        func = node.func
+        # Executor submit/map?
+        if isinstance(func, ast.Attribute) and func.attr in ("submit", "map"):
+            kind = self._pool_base_kind(func.value, pool_vars)
+            if kind is not None:
+                submission = self._build_submission(qualname, node, kind)
+                facts.submissions.append(submission)
+                if submission.target is not None:
+                    caught = self._caught_around(node, scope)
+                    facts.callees.append((submission.target, caught))
+                return
+        # functools.partial: treat the wrapped callable as a callee.
+        dotted = dotted_name(func)
+        if dotted is not None and dotted.split(".")[-1] == "partial" and node.args:
+            inner = self._resolve_callable(
+                qualname, node.args[0], local_names, var_types
+            )
+            if inner is not None:
+                facts.callees.append(
+                    (inner, self._caught_around(node, scope))
+                )
+            return
+        resolved = self._resolve_callable(
+            qualname, func, local_names, var_types
+        )
+        if resolved is None:
+            return
+        callee = self._as_callable(resolved)
+        if callee is not None:
+            facts.callees.append((callee, self._caught_around(node, scope)))
+
+    def _as_callable(self, resolved: tuple[str, str]) -> tuple[str, str] | None:
+        """Map a resolved reference to the function the call executes."""
+        module, name = resolved
+        if module not in self.project.modules:
+            return None
+        mod = self.project.modules[module]
+        if name in mod.functions:
+            return resolved
+        if name in mod.classes:
+            ctor = self.project._find_method(module, name, "__init__")
+            return ctor
+        if "." in name:
+            cls_name, method = name.split(".", 1)
+            info = mod.classes.get(cls_name)
+            if info is not None and method in info.methods:
+                return resolved
+            return None
+        return None
+
+    def _resolve_callable(
+        self,
+        qualname: str,
+        expr: ast.expr,
+        local_names: set[str],
+        var_types: dict[str, tuple[str, str]],
+    ) -> tuple[str, str] | None:
+        if isinstance(expr, ast.Lambda):
+            return None
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        head = parts[0]
+        own_class = qualname.split(".")[0] if "." in qualname else None
+        if head in ("self", "cls") and own_class is not None:
+            if len(parts) == 2:
+                return self.project._find_method(
+                    self.mod.name, own_class, parts[1]
+                )
+            return None
+        if head == "cls" and own_class is not None and len(parts) == 1:
+            return self.project._find_method(
+                self.mod.name, own_class, "__init__"
+            )
+        if head in var_types:
+            if len(parts) == 2:
+                cls_module, cls_name = var_types[head]
+                return self.project._find_method(
+                    cls_module, cls_name, parts[1]
+                )
+            return None
+        if len(parts) == 1:
+            if head in local_names:
+                return None
+            return self.project.resolve(self.mod.name, head)
+        if head in local_names:
+            return None
+        return self.project.resolve(self.mod.name, dotted)
+
+    def _pool_base_kind(
+        self, base: ast.expr, pool_vars: dict[str, str]
+    ) -> str | None:
+        dotted = dotted_name(base)
+        if dotted is None:
+            return None
+        if dotted in pool_vars:
+            return pool_vars[dotted]
+        if dotted.startswith(("self.", "cls.")) and dotted.count(".") == 1:
+            return self.project._pool_attr_kind(dotted.split(".")[-1])
+        return None
+
+    def _build_submission(
+        self, qualname: str, node: ast.Call, kind: str
+    ) -> Submission:
+        submission = Submission(
+            module=self.mod.name,
+            function=qualname,
+            node=node,
+            pool_kind=kind,
+        )
+        if not node.args:
+            return submission
+        target = node.args[0]
+        if isinstance(target, ast.Call):
+            inner_dotted = dotted_name(target.func)
+            if (
+                inner_dotted is not None
+                and inner_dotted.split(".")[-1] == "partial"
+                and target.args
+            ):
+                submission.via_partial = True
+                target = target.args[0]
+        if isinstance(target, ast.Lambda):
+            submission.target_kind = "lambda"
+        else:
+            resolved = self._resolve_callable(qualname, target, set(), {})
+            if resolved is not None:
+                submission.target_kind = "resolved"
+                submission.target = resolved
+            else:
+                submission.target_kind = "unresolved"
+        submission.has_lambda_arg = any(
+            isinstance(arg, ast.Lambda) for arg in node.args[1:]
+        )
+        return submission
+
+    # -- raises -------------------------------------------------------
+
+    def _handle_raise(
+        self,
+        qualname: str,
+        scope: ast.AST,
+        node: ast.Raise,
+        facts: _FuncFacts,
+    ) -> None:
+        caught = self._caught_around(node, scope)
+        if node.exc is None:
+            handler = self._enclosing_handler(node, scope)
+            if handler is not None:
+                for leaf in _handler_type_names(handler):
+                    exc = self._resolve_exception(leaf)
+                    if exc is not None:
+                        facts.raises.append((exc, caught))
+            return
+        expr = node.exc
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return
+        exc = self._resolve_exception(dotted)
+        if exc is not None:
+            facts.raises.append((exc, caught))
+
+    def _resolve_exception(self, dotted: str) -> tuple[str, str] | None:
+        resolved = self.project.resolve(self.mod.name, dotted)
+        if resolved is not None:
+            module, name = resolved
+            if module in self.project.modules:
+                if name in self.project.modules[module].classes:
+                    return resolved
+                return None
+            return (module, name)
+        leaf = dotted.split(".")[-1]
+        if _builtin_exception_ancestors(leaf) is not None:
+            return ("builtins", leaf)
+        if leaf[:1].isupper() and leaf.endswith(
+            ("Error", "Exception", "Warning")
+        ):
+            # Raised class the resolver cannot see (nested, dynamic, or
+            # external): recorded so the process-boundary rule can flag
+            # it when it is reachable from pool-worker code.
+            return ("<unresolved>", leaf)
+        return None
+
+    def _caught_around(self, node: ast.AST, scope: ast.AST) -> frozenset[str]:
+        names: set[str] = set()
+        child: ast.AST = node
+        current = getattr(node, "parent", None)
+        while current is not None and current is not scope:
+            if isinstance(current, ast.Try) and child in current.body:
+                for handler in current.handlers:
+                    if _handler_reraises(handler):
+                        continue
+                    names.update(_handler_type_names(handler))
+            child = current
+            current = getattr(current, "parent", None)
+        return frozenset(names)
+
+    def _enclosing_handler(
+        self, node: ast.AST, scope: ast.AST
+    ) -> ast.ExceptHandler | None:
+        current = getattr(node, "parent", None)
+        while current is not None and current is not scope:
+            if isinstance(current, ast.ExceptHandler):
+                return current
+            current = getattr(current, "parent", None)
+        return None
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> set[str]:
+    if handler.type is None:
+        return {"BaseException"}
+    exprs = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names: set[str] = set()
+    for expr in exprs:
+        dotted = dotted_name(expr)
+        if dotted is not None:
+            names.add(dotted.split(".")[-1])
+    return names
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    for node in _walk_scope(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+def project_context(
+    rule: Rule, src: SourceFile
+) -> tuple[Project, ProjectModule]:
+    """Project context for one rule check.
+
+    Returns the whole-program project attached by :func:`run_project`
+    when it covers ``src``; otherwise falls back to a single-file
+    project so the flow-aware rules degrade gracefully (resolution just
+    stops at the file boundary) instead of failing.
+    """
+    attached = getattr(rule, "_project", None)
+    if attached is not None:
+        mod = attached.module_for(src.path)
+        if mod is not None:
+            return attached, mod
+    fallback = Project.from_sources([src])
+    return fallback, next(iter(fallback.modules.values()))
+
+
+def run_project(
+    paths: Sequence[str | pathlib.Path],
+    rules: Sequence[Rule],
+    cache: AstCache | None = None,
+) -> tuple[list[Violation], list[str], Project]:
+    """Lint a whole source tree with project context attached.
+
+    Parses ``paths`` into a :class:`Project` (optionally through
+    ``cache``), attaches it to every rule via
+    :meth:`repro.analysis.engine.Rule.set_project`, runs the rules over
+    each file, and always detaches the project afterwards (rule
+    instances in the registry are shared singletons).  Returns
+    ``(violations, parse_errors, project)``.
+    """
+    project, errors = Project.load(paths, cache)
+    violations: list[Violation] = []
+    try:
+        for rule in rules:
+            rule.set_project(project)
+        for mod in sorted(
+            project.modules.values(), key=lambda item: item.source.path
+        ):
+            violations.extend(run_source(mod.source, rules))
+    finally:
+        for rule in rules:
+            rule.set_project(None)
+    return violations, errors, project

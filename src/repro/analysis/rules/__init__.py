@@ -13,7 +13,11 @@ from repro.analysis.rules.api_surface import ApiSurfaceRule
 from repro.analysis.rules.broad_except import BroadExceptRule
 from repro.analysis.rules.clip_discipline import ClipDisciplineRule
 from repro.analysis.rules.dtype_contract import DtypeContractRule
+from repro.analysis.rules.exception_flow import ExceptionFlowRule
 from repro.analysis.rules.hygiene import HygieneRule
+from repro.analysis.rules.layering import LayeringRule
+from repro.analysis.rules.process_boundary import ProcessBoundaryRule
+from repro.analysis.rules.resource_lifecycle import ResourceLifecycleRule
 from repro.analysis.rules.rng_discipline import RngDisciplineRule
 from repro.analysis.rules.transport_hygiene import TransportHygieneRule
 
@@ -24,7 +28,11 @@ __all__ = [
     "BroadExceptRule",
     "ClipDisciplineRule",
     "DtypeContractRule",
+    "ExceptionFlowRule",
     "HygieneRule",
+    "LayeringRule",
+    "ProcessBoundaryRule",
+    "ResourceLifecycleRule",
     "RngDisciplineRule",
     "TransportHygieneRule",
 ]
@@ -37,6 +45,10 @@ ALL_RULES: tuple[Rule, ...] = (
     HygieneRule(),
     ClipDisciplineRule(),
     BroadExceptRule(),
+    ResourceLifecycleRule(),
+    ExceptionFlowRule(),
+    ProcessBoundaryRule(),
+    LayeringRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

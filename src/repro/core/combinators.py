@@ -20,17 +20,64 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.cpf import CPF, MixtureCPF, PowerCPF, ProductCPF
+from repro.core.cpf import CPF, ConstantCPF, MixtureCPF, PowerCPF, ProductCPF
 from repro.core.family import DSHFamily, HashPair, as_components
 from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import check_probability
 
 __all__ = [
     "ConcatenatedFamily",
+    "ConstantCollisionFamily",
     "PoweredFamily",
     "MixtureFamily",
     "TransformedFamily",
     "negate_queries",
 ]
+
+
+class ConstantCollisionFamily(DSHFamily):
+    """A pair colliding with probability ``p`` independent of the points.
+
+    The shared randomness drawn at sampling time decides: with probability
+    ``p`` both sides hash everything to ``0`` (always collide), otherwise
+    the data side hashes to ``0`` and the query side to ``1`` (never
+    collide).  CPF: the constant ``p``.
+
+    These are the "standard hashing" blocks of Appendix C.3 used to add a
+    bias term to a CPF, and they also realize ``P(t) = a_0`` terms.  It
+    lives here with the other combinators (not in
+    :mod:`repro.families.bit_sampling`, which re-exports it) because the
+    CPF transforms in :mod:`repro.core.transforms` build on it — a
+    distance-independent block has no layer above core.
+    """
+
+    def __init__(self, p: float, arg_kind: str = "relative_distance") -> None:
+        self.p = check_probability(p, "p")
+        self._arg_kind = arg_kind
+
+    def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
+        """Flip the shared coin: collide everywhere or nowhere."""
+        rng = ensure_rng(rng)
+        collide = bool(rng.random() < self.p)
+
+        def h(points: np.ndarray) -> np.ndarray:
+            n = np.atleast_2d(np.asarray(points)).shape[0]
+            return np.zeros(n, dtype=np.int64)
+
+        def g(points: np.ndarray) -> np.ndarray:
+            n = np.atleast_2d(np.asarray(points)).shape[0]
+            return (
+                np.zeros(n, dtype=np.int64)
+                if collide
+                else np.ones(n, dtype=np.int64)
+            )
+
+        return HashPair(h=h, g=g, meta={"collide": collide})
+
+    @property
+    def cpf(self) -> CPF:
+        """The constant CPF ``f == p``."""
+        return ConstantCPF(self.p, self._arg_kind)
 
 
 def _combined_cpf_or_none(

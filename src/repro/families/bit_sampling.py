@@ -13,7 +13,8 @@ Three primitives:
   with probability ``p`` (shared randomness decides, the points are
   ignored).  Appendix C.3 uses such blocks ("standard hashing that maps data
   and query points to 0 with probability beta ...") to bias and scale the
-  other CPFs.
+  other CPFs.  Defined in :mod:`repro.core.combinators` (the CPF
+  transforms in core build on it); re-exported here for compatibility.
 
 The helpers :func:`scaled_bit_sampling` and :func:`scaled_anti_bit_sampling`
 assemble the scaled variants from Appendix C.3 via Lemma 1.4(b) mixtures:
@@ -26,12 +27,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.combinators import MixtureFamily
+from repro.core.combinators import ConstantCollisionFamily, MixtureFamily
 from repro.core.cpf import (
     CPF,
     AntiBitSamplingCPF,
     BitSamplingCPF,
-    ConstantCPF,
 )
 from repro.core.family import DSHFamily, HashPair
 from repro.utils.rng import ensure_rng
@@ -116,43 +116,6 @@ class AntiBitSampling(DSHFamily):
     def cpf(self) -> CPF:
         """The increasing CPF ``f(t) = t``."""
         return AntiBitSamplingCPF()
-
-
-class ConstantCollisionFamily(DSHFamily):
-    """A pair colliding with probability ``p`` independent of the points.
-
-    The shared randomness drawn at sampling time decides: with probability
-    ``p`` both sides hash everything to ``0`` (always collide), otherwise
-    the data side hashes to ``0`` and the query side to ``1`` (never
-    collide).  CPF: the constant ``p``.
-
-    These are the "standard hashing" blocks of Appendix C.3 used to add a
-    bias term to a CPF, and they also realize ``P(t) = a_0`` terms.
-    """
-
-    def __init__(self, p: float, arg_kind: str = "relative_distance") -> None:
-        self.p = check_probability(p, "p")
-        self._arg_kind = arg_kind
-
-    def sample(self, rng: int | np.random.Generator | None = None) -> HashPair:
-        """Flip the shared coin: collide everywhere or nowhere."""
-        rng = ensure_rng(rng)
-        collide = bool(rng.random() < self.p)
-
-        def h(points: np.ndarray) -> np.ndarray:
-            n = np.atleast_2d(np.asarray(points)).shape[0]
-            return np.zeros(n, dtype=np.int64)
-
-        def g(points: np.ndarray) -> np.ndarray:
-            n = np.atleast_2d(np.asarray(points)).shape[0]
-            return np.zeros(n, dtype=np.int64) if collide else np.ones(n, dtype=np.int64)
-
-        return HashPair(h=h, g=g, meta={"collide": collide})
-
-    @property
-    def cpf(self) -> CPF:
-        """The constant CPF ``f == p``."""
-        return ConstantCPF(self.p, self._arg_kind)
 
 
 def scaled_bit_sampling(d: int, scale: float) -> MixtureFamily:

@@ -1092,7 +1092,12 @@ class ShardedIndex:
         max_retrieved: int | None = None,
         timeout: float | None = None,
     ) -> CandidateResult:
-        """Single-query spelling of :meth:`batch_query`."""
+        """Single-query spelling of :meth:`batch_query`.
+
+        Like :meth:`batch_query`, raises :class:`PoolRecoveryError` when
+        pool recovery is exhausted (under ``on_shard_failure="raise"``)
+        and :class:`TimeoutError` past a ``timeout=`` deadline.
+        """
         queries = self._check_queries(query)
         if queries.shape[0] != 1:
             raise ValueError(
@@ -1236,6 +1241,11 @@ class ShardedIndex:
         ``"raise"`` (default) propagates :class:`PoolRecoveryError`,
         ``"degrade"`` serves the surviving shards' exact merge with
         results flagged ``degraded`` (see :meth:`batch_query`).
+
+        Raises :class:`repro.index.persistence.IndexIntegrityError` when
+        a shard bundle fails the requested integrity checks at load
+        time, and ``ValueError`` for unknown modes or a manifest that is
+        not a sharded-index layout.
         """
         from repro.api import (
             IndexSpec,

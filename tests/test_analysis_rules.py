@@ -226,6 +226,261 @@ def test_rr007_good_narrow_or_acting_handlers():
 
 
 # ---------------------------------------------------------------------------
+# RR008 resource-lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_rr008_flags_straight_line_resource_use():
+    bad = (
+        "def leak(path):\n"
+        '    """Doc."""\n'
+        "    handle = open(path)\n"
+        "    data = handle.read()\n"
+        "    handle.close()\n"  # straight-line close: leaks on exception
+        "    return data\n"
+    )
+    assert codes(lint(bad, select="RR008")) == ["RR008"]
+
+
+def test_rr008_flags_unbound_acquisition():
+    bad = (
+        "def peek(path):\n"
+        '    """Doc."""\n'
+        "    return open(path).read()\n"
+    )
+    assert codes(lint(bad, select="RR008")) == ["RR008"]
+
+
+def test_rr008_good_with_try_finally_and_finalize():
+    good = (
+        "import weakref\n"
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "def read(path):\n"
+        '    """Doc."""\n'
+        "    with open(path) as handle:\n"
+        "        return handle.read()\n"
+        "def guarded(path):\n"
+        '    """Doc."""\n'
+        "    handle = open(path)\n"
+        "    try:\n"
+        "        return handle.read()\n"
+        "    finally:\n"
+        "        handle.close()\n"
+        "class Serving:\n"
+        '    """Doc."""\n'
+        "    def start(self):\n"
+        '        """Doc."""\n'
+        "        self._pool = ProcessPoolExecutor(2)\n"
+        "        weakref.finalize(self, _cleanup, self._pool)\n"
+    )
+    assert lint(good, select="RR008") == []
+
+
+def test_rr008_good_escape_and_journal_handoff():
+    # Returned resources transfer ownership to the caller.
+    escape = (
+        "import numpy as np\n"
+        "def view(path):\n"
+        '    """Doc."""\n'
+        "    return np.memmap(path, dtype='uint8', mode='r')\n"
+    )
+    assert lint(escape, select="RR008") == []
+    # The journal-mediated shm handoff in serving/sharded.py is
+    # sanctioned: the crash journal sweeper reclaims orphans.
+    journal = (
+        "from multiprocessing.shared_memory import SharedMemory\n"
+        "def _ship(journal_dir, payload):\n"
+        '    """Doc."""\n'
+        "    shm = SharedMemory(create=True, size=len(payload))\n"
+        "    _journal_record(journal_dir, shm.name)\n"
+        "    shm.buf[: len(payload)] = payload\n"
+        "    shm.close()\n"
+    )
+    assert lint(journal, path="src/repro/serving/sharded.py", select="RR008") == []
+    # The same shape outside sharded.py is a leak.
+    assert codes(lint(journal, path="src/repro/api.py", select="RR008")) == [
+        "RR008"
+    ]
+
+
+# ---------------------------------------------------------------------------
+# RR009 exception-flow
+# ---------------------------------------------------------------------------
+
+
+_RR009_PRELUDE = (
+    "class BoomError(RuntimeError):\n"
+    '    """Boom."""\n'
+    "def _helper():\n"
+    '    """Doc."""\n'
+    '    raise BoomError("x")\n'
+)
+
+
+def test_rr009_flags_undocumented_escapee_through_call_graph():
+    bad = _RR009_PRELUDE + (
+        "def public_api():\n"
+        '    """Does a thing."""\n'
+        "    return _helper()\n"
+    )
+    found = lint(bad, select="RR009")
+    assert codes(found) == ["RR009"]
+    assert "BoomError" in found[0].message
+
+
+def test_rr009_good_documented_or_caught():
+    documented = _RR009_PRELUDE + (
+        "def public_api():\n"
+        '    """Does a thing; raises BoomError when x is bad."""\n'
+        "    return _helper()\n"
+    )
+    assert lint(documented, select="RR009") == []
+    caught = _RR009_PRELUDE + (
+        "def safe_api():\n"
+        '    """Never raises BoomError upward."""\n'
+        "    try:\n"
+        "        return _helper()\n"
+        "    except BoomError:\n"
+        "        return None\n"
+    )
+    assert lint(caught, select="RR009") == []
+
+
+def test_rr009_flags_stale_raises_section():
+    stale = (
+        "class BoomError(RuntimeError):\n"
+        '    """Boom."""\n'
+        "def public_api():\n"
+        '    """Does a thing.\n'
+        "\n"
+        "    Raises\n"
+        "    ------\n"
+        "    BoomError\n"
+        "        never actually raised.\n"
+        '    """\n'
+        "    return 1\n"
+    )
+    found = lint(stale, select="RR009")
+    assert codes(found) == ["RR009"]
+    assert "cannot reach" in found[0].message
+
+
+# ---------------------------------------------------------------------------
+# RR010 process-boundary
+# ---------------------------------------------------------------------------
+
+
+def test_rr010_flags_lambda_submitted_to_process_pool():
+    bad = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "def run():\n"
+        '    """Doc."""\n'
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return pool.submit(lambda: 1).result()\n"
+    )
+    found = lint(bad, select="RR010")
+    assert codes(found) == ["RR010"]
+    assert "lambda" in found[0].message
+
+
+def test_rr010_flags_nested_function_and_nested_exception():
+    nested_func = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "def run():\n"
+        '    """Doc."""\n'
+        "    def inner(x):\n"
+        '        """Doc."""\n'
+        "        return x\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return pool.submit(inner, 1).result()\n"
+    )
+    assert codes(lint(nested_func, select="RR010")) == ["RR010"]
+    nested_exc = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "def work():\n"
+        '    """Doc."""\n'
+        "    class InnerError(ValueError):\n"
+        '        """Doc."""\n'
+        '    raise InnerError("x")\n'
+        "def run():\n"
+        '    """Doc."""\n'
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return pool.submit(work).result()\n"
+    )
+    found = lint(nested_exc, select="RR010")
+    assert codes(found) == ["RR010"]
+    assert "InnerError" in found[0].message
+
+
+def test_rr010_good_top_level_target_and_thread_pool():
+    good = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "def work(x):\n"
+        '    """Doc."""\n'
+        "    return x + 1\n"
+        "def run():\n"
+        '    """Doc."""\n'
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return pool.submit(work, 1).result()\n"
+    )
+    assert lint(good, select="RR010") == []
+    # Thread pools never cross a pickle boundary: lambdas are fine.
+    threads = (
+        "from concurrent.futures import ThreadPoolExecutor\n"
+        "def run():\n"
+        '    """Doc."""\n'
+        "    with ThreadPoolExecutor() as pool:\n"
+        "        return pool.submit(lambda: 1).result()\n"
+    )
+    assert lint(threads, select="RR010") == []
+
+
+def test_rr010_confines_fault_hooks_to_serving():
+    leak = "from repro.serving import faults\n"
+    assert codes(lint(leak, path="src/repro/api.py", select="RR010")) == [
+        "RR010"
+    ]
+    direct = "from repro.serving.faults import fault_point\n"
+    assert codes(lint(direct, path="src/repro/index/backends.py", select="RR010")) == [
+        "RR010"
+    ]
+    inside = "from repro.serving import faults\n"
+    assert (
+        lint(inside, path="src/repro/serving/sharded.py", select="RR010") == []
+    )
+
+
+# ---------------------------------------------------------------------------
+# RR011 layering
+# ---------------------------------------------------------------------------
+
+
+def test_rr011_flags_upward_eager_import():
+    bad = "from repro.serving.sharded import ShardedIndex\n"
+    found = lint(bad, path="src/repro/core/widget.py", select="RR011")
+    assert codes(found) == ["RR011"]
+    assert "layer" in found[0].message
+
+
+def test_rr011_good_downward_or_lazy_import():
+    down = "from repro.core.family import DSHFamily\n"
+    assert lint(down, path="src/repro/serving/widget.py", select="RR011") == []
+    lazy = (
+        "def load_sharded(path):\n"
+        '    """Doc."""\n'
+        "    from repro.serving.sharded import ShardedIndex\n"
+        "    return ShardedIndex.load(path)\n"
+    )
+    assert lint(lazy, path="src/repro/api.py", select="RR011") == []
+    guarded = (
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from repro.serving.sharded import ShardedIndex\n"
+    )
+    assert lint(guarded, path="src/repro/core/widget.py", select="RR011") == []
+
+
+# ---------------------------------------------------------------------------
 # Suppression and baseline machinery
 # ---------------------------------------------------------------------------
 
@@ -237,6 +492,26 @@ def test_noqa_blanket_and_coded_suppression():
     assert codes(lint("import pickle  # noqa: RR001\n", select="RR003")) == [
         "RR003"
     ]
+
+
+def test_noqa_comma_list_tolerates_spaces():
+    src = "import pickle  # noqa: RR001, RR003\n"
+    assert lint(src, select="RR003") == []
+    assert lint(src, select="RR001") == []
+    spaced = "import pickle  # noqa:  RR003 , RR001\n"
+    assert lint(spaced, select="RR003") == []
+
+
+def test_noqa_inside_string_literal_does_not_suppress():
+    # The marker only counts as a directive in a COMMENT token; the same
+    # text inside a string literal on the flagged line must not suppress.
+    src = 'assert validate("ok # noqa: RR005")\n'
+    assert codes(lint(src, select="RR005")) == ["RR005"]
+    blanket = 'assert validate("ok # noqa")\n'
+    assert codes(lint(blanket, select="RR005")) == ["RR005"]
+    # ... while a real trailing comment on the same line still works.
+    mixed = 'assert validate("ok # noqa")  # noqa: RR005\n'
+    assert lint(mixed, select="RR005") == []
 
 
 def test_baseline_partition_is_line_insensitive(tmp_path):
@@ -283,6 +558,97 @@ def test_cli_exit_codes_and_json_report(tmp_path, capsys):
 
     assert main(["--select", "RRXXX", str(clean)]) == 2
     assert main([str(tmp_path / "missing_dir")]) == 2
+
+
+def test_cli_select_rejects_empty_list_and_accepts_lowercase(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import pickle\n")
+    baseline = str(tmp_path / "baseline.json")
+
+    # An all-separator selection is an error, not "run everything".
+    assert main(["--select", ",,", str(dirty)]) == 2
+    assert main(["--select", " , ", str(dirty)]) == 2
+    assert "empty rule list" in capsys.readouterr().err
+
+    # Codes are case-insensitive and comma lists may carry spaces.
+    assert main(["--select", "rr003", str(dirty), "--baseline", baseline]) == 1
+    code = main(
+        ["--select", "rr001, RR003", str(dirty), "--baseline", baseline]
+    )
+    assert code == 1
+
+
+def test_cli_warm_ast_cache_skips_reparsing(tmp_path, capsys):
+    from repro.analysis.project import AstCache, Project
+
+    target = tmp_path / "mod.py"
+    target.write_text("x: int = 1\n")
+    cache = AstCache(tmp_path / "cache")
+
+    project, errors = Project.load([str(target)], cache)
+    assert errors == []
+    assert project.stats["parsed"] == 1 and project.stats["cache_hits"] == 0
+
+    warm = AstCache(tmp_path / "cache")
+    project, errors = Project.load([str(target)], warm)
+    assert errors == []
+    assert project.stats["cache_hits"] > 0
+    assert project.stats["parsed"] == 0
+
+    # Editing the file invalidates its entry: it is re-parsed, not served
+    # stale from the cache.
+    target.write_text("x: int = 2\ny: int = 3\n")
+    stale = AstCache(tmp_path / "cache")
+    project, errors = Project.load([str(target)], stale)
+    assert errors == []
+    assert project.stats["parsed"] == 1 and project.stats["cache_hits"] == 0
+
+    # The CLI surfaces the same counters in the JSON report.
+    code = main(
+        [
+            str(target),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--format",
+            "json",
+            "--baseline",
+            str(tmp_path / "baseline.json"),
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["cache"] == {"parsed": 0, "hits": 1}
+
+
+def test_worker_reachable_exceptions_round_trip_pickle():
+    """RR010's premise, checked for real: every project exception type
+    reachable from a process-pool submission target must survive the
+    pickle round trip a crashed worker would put it through."""
+    import pickle
+
+    from repro.analysis.project import Project
+
+    project, errors = Project.load([str(REPO_ROOT / "src")])
+    assert errors == []
+    checked = 0
+    for sub in project.submissions():
+        if sub.pool_kind != "process" or sub.target is None:
+            continue
+        for exc_module, exc_name in project.raise_set(*sub.target):
+            if exc_module not in project.modules:
+                continue
+            mod = __import__(exc_module, fromlist=[exc_name])
+            cls = getattr(mod, exc_name, None)
+            if cls is None or not isinstance(cls, type):
+                continue
+            try:
+                instance = cls("boom")
+            except TypeError:
+                instance = cls("boom", kind="self-check")
+            clone = pickle.loads(pickle.dumps(instance))
+            assert type(clone) is cls
+            checked += 1
+    assert checked > 0, "expected at least one worker-reachable exception"
 
 
 def test_cli_reports_parse_errors_as_failures(tmp_path, capsys):
