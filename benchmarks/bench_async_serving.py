@@ -1,0 +1,250 @@
+"""Async micro-batching serving tier benchmark.
+
+Measures what request coalescing buys a single-query serving API under
+concurrent load.  Two ``AsyncIndexServer`` configurations serve the same
+saved packed index:
+
+* **batch-size 1** — ``max_batch=1``: every request executes as its own
+  ``batch_query`` of one row.  This is the per-request dispatch baseline
+  (what a naive async wrapper around ``query`` does).
+* **coalesced** — ``max_batch=64`` with a short ``max_wait_us`` window:
+  concurrent requests are merged into one vectorised ``batch_query``
+  and the per-row results fanned back.
+
+Two load shapes:
+
+* **capacity (closed loop)** — a fixed population of concurrent clients
+  floods each server; served q/s isolates dispatch overhead vs
+  vectorisation.  Asserted ≥ 3× for coalesced over batch-size 1 at full
+  size.
+* **latency (open-loop Poisson)** — arrivals follow an exponential
+  inter-arrival schedule fixed in advance (open loop: a slow server
+  does not slow the arrival process down), offered at ~60% of the
+  coalesced capacity.  Reports p50/p99 latency and shed counts for both
+  servers at the *same* offered rate — the batch-size-1 server is over
+  capacity there, which is the point: the latency distribution and
+  ``ServerOverloadedError`` shedding show what coalescing absorbs.
+
+Every served response in the capacity phase is checked bit-identical to
+a direct ``batch_query`` on the same index before any number is
+trusted.  Set ``BENCH_SMOKE=1`` to shrink the instance for CI smoke
+runs (assertions are only enforced at full size).
+"""
+
+import asyncio
+import os
+import tempfile
+
+import numpy as np
+
+from repro.api import IndexSpec, save_index
+from repro.serving import AsyncIndexServer, ServerOverloadedError
+from repro.spaces import hamming
+
+from _harness import clustered_hamming, fmt_row, report
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+N_POINTS = 4_000 if SMOKE else 50_000
+N_CLUSTERS = 40 if SMOKE else 100
+D = 64
+K = 16
+N_TABLES = 8 if SMOKE else 16
+SEED = 2018
+FLOOD_N = 200 if SMOKE else 1_500
+FLOOD_CONCURRENCY = 64 if SMOKE else 128
+POISSON_N = 150 if SMOKE else 1_200
+POISSON_UTILISATION = 0.6
+MAX_BATCH = 64
+MAX_WAIT_US = 2_000
+MIN_COALESCING_SPEEDUP = 3.0
+
+
+def _spec():
+    return IndexSpec(
+        kind="raw",
+        family="bit_sampling",
+        family_params={"d": D, "power": K},
+        n_tables=N_TABLES,
+        backend="packed",
+        seed=SEED + 3,
+    )
+
+
+async def _flood(server, queries, n, concurrency):
+    """Closed-loop capacity probe: ``concurrency`` clients, each issuing
+    its next request the moment the previous one completes, ``n``
+    requests total.  Returns (served q/s, responses in issue order)."""
+    loop = asyncio.get_running_loop()
+    sem = asyncio.Semaphore(concurrency)
+
+    async def one(i):
+        async with sem:
+            return await server.query(queries[i % queries.shape[0]])
+
+    start = loop.time()
+    responses = await asyncio.gather(*(one(i) for i in range(n)))
+    elapsed = loop.time() - start
+    return n / elapsed, responses
+
+
+async def _poisson(server, queries, rate, n, rng):
+    """Open-loop Poisson load: the arrival schedule is drawn up front
+    and honoured regardless of how the server keeps up.  Returns
+    (latencies seconds, shed count, wall seconds)."""
+    loop = asyncio.get_running_loop()
+    arrivals = np.cumsum(rng.exponential(1.0 / rate, size=n))
+    start = loop.time()
+
+    async def one(i):
+        delay = start + arrivals[i] - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        issued = loop.time()
+        try:
+            await server.query(queries[i % queries.shape[0]])
+        except ServerOverloadedError:
+            return None
+        return loop.time() - issued
+
+    outcomes = await asyncio.gather(*(one(i) for i in range(n)))
+    wall = loop.time() - start
+    latencies = [t for t in outcomes if t is not None]
+    return latencies, sum(t is None for t in outcomes), wall
+
+
+async def _measure(path, queries, reference, rng):
+    out = {}
+    servers = {
+        "batch1": dict(max_batch=1, max_wait_us=0),
+        "coalesced": dict(max_batch=MAX_BATCH, max_wait_us=MAX_WAIT_US),
+    }
+    # Capacity: closed-loop flood, responses verified exact.
+    for name, cfg in servers.items():
+        async with AsyncIndexServer(
+            path, max_pending=2 * FLOOD_CONCURRENCY, **cfg
+        ) as server:
+            await _flood(server, queries, FLOOD_CONCURRENCY, 16)  # warm-up
+            qps, responses = await _flood(
+                server, queries, FLOOD_N, FLOOD_CONCURRENCY
+            )
+            for i, served in enumerate(responses):
+                ref = reference[i % queries.shape[0]]
+                assert served.indices == ref.indices, (
+                    f"{name} response {i} diverged from direct batch_query"
+                )
+                assert served.result.stats == ref.stats
+            metrics = server.metrics()
+            out[f"{name}_qps"] = qps
+            out[f"{name}_mean_batch"] = metrics["mean_batch"]
+            out[f"{name}_max_batch_size"] = metrics["max_batch_size"]
+
+    # Latency: both servers face the same open-loop Poisson arrivals at
+    # ~60% of the *coalesced* capacity.
+    rate = POISSON_UTILISATION * out["coalesced_qps"]
+    out["offered_rate"] = rate
+    for name, cfg in servers.items():
+        async with AsyncIndexServer(
+            path, max_pending=2 * FLOOD_CONCURRENCY, **cfg
+        ) as server:
+            await _flood(server, queries, FLOOD_CONCURRENCY, 16)  # warm-up
+            latencies, shed, wall = await _poisson(
+                server, queries, rate, POISSON_N, rng
+            )
+            lat = np.asarray(latencies) if latencies else np.asarray([np.nan])
+            out[f"{name}_p50_ms"] = float(np.percentile(lat, 50)) * 1e3
+            out[f"{name}_p99_ms"] = float(np.percentile(lat, 99)) * 1e3
+            out[f"{name}_shed"] = shed
+            out[f"{name}_served_rate"] = len(latencies) / wall
+    return out
+
+
+def _run():
+    rng = np.random.default_rng(SEED)
+    prototypes = hamming.random_points(N_CLUSTERS, D, rng=rng)
+    points = clustered_hamming(prototypes, N_POINTS, rng)
+    queries = clustered_hamming(prototypes, 256, rng)
+    index = _spec().build(points)
+    reference = index.batch_query(queries)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "srv")
+        save_index(index, path)
+        return asyncio.run(_measure(path, queries, reference, rng))
+
+
+def bench_async_serving(benchmark):
+    """Time the async serving sweep; require the coalescing server to
+    sustain >= 3x the q/s of the batch-size-1 server at full size."""
+    timings = benchmark.pedantic(_run, rounds=1, iterations=1)
+    speedup = timings["coalesced_qps"] / timings["batch1_qps"]
+    lines = [
+        "Async micro-batching serving tier: coalesced vs batch-size-1 "
+        f"dispatch (n={N_POINTS} clustered points, L={N_TABLES}, "
+        f"c={K} components, {FLOOD_CONCURRENCY} flood clients, "
+        f"{POISSON_N} Poisson arrivals{', SMOKE' if SMOKE else ''})",
+        "",
+        fmt_row("server", "q/s", "mean batch", "p50 ms", "p99 ms",
+                "shed", width=13),
+        fmt_row(
+            "batch-size 1", timings["batch1_qps"],
+            timings["batch1_mean_batch"], timings["batch1_p50_ms"],
+            timings["batch1_p99_ms"], timings["batch1_shed"], width=13,
+        ),
+        fmt_row(
+            "coalesced", timings["coalesced_qps"],
+            timings["coalesced_mean_batch"], timings["coalesced_p50_ms"],
+            timings["coalesced_p99_ms"], timings["coalesced_shed"],
+            width=13,
+        ),
+        "",
+        f"coalescing throughput speedup: x{speedup:.2f} "
+        f"(largest coalesced batch: {timings['coalesced_max_batch_size']})",
+        f"open-loop Poisson offered rate: {timings['offered_rate']:.0f} q/s "
+        f"(~{POISSON_UTILISATION:.0%} of coalesced capacity)",
+    ]
+    report(
+        "async_serving",
+        lines,
+        metrics={
+            "coalescing_speedup": speedup,
+            "queries_per_s": {
+                "batch1": timings["batch1_qps"],
+                "coalesced": timings["coalesced_qps"],
+            },
+            "latency_ms": {
+                "batch1": {
+                    "p50": timings["batch1_p50_ms"],
+                    "p99": timings["batch1_p99_ms"],
+                },
+                "coalesced": {
+                    "p50": timings["coalesced_p50_ms"],
+                    "p99": timings["coalesced_p99_ms"],
+                },
+            },
+            "shed": {
+                "batch1": timings["batch1_shed"],
+                "coalesced": timings["coalesced_shed"],
+            },
+            "mean_batch": {
+                "batch1": timings["batch1_mean_batch"],
+                "coalesced": timings["coalesced_mean_batch"],
+            },
+            "offered_rate_qps": timings["offered_rate"],
+        },
+        config={
+            "n_points": N_POINTS,
+            "n_tables": N_TABLES,
+            "components": K,
+            "max_batch": MAX_BATCH,
+            "max_wait_us": MAX_WAIT_US,
+            "flood_n": FLOOD_N,
+            "flood_concurrency": FLOOD_CONCURRENCY,
+            "poisson_n": POISSON_N,
+            "poisson_utilisation": POISSON_UTILISATION,
+            "smoke": SMOKE,
+        },
+    )
+    if not SMOKE:
+        assert speedup >= MIN_COALESCING_SPEEDUP, (
+            f"coalescing only x{speedup:.2f} over batch-size-1 dispatch "
+            f"(required x{MIN_COALESCING_SPEEDUP})"
+        )

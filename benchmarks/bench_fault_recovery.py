@@ -27,7 +27,7 @@ import tempfile
 import numpy as np
 
 from repro.api import IndexSpec, load_index, save_index
-from repro.serving import faults
+from repro.serving import ServingOptions, faults
 from repro.spaces import hamming
 
 from _harness import clustered_hamming, fmt_row, median_time, report, timed
@@ -86,7 +86,7 @@ def _run():
         save_index(flat, flat_path)
         for mode in ("off", "lazy", "eager"):
             out[f"load_{mode}_s"] = median_time(
-                lambda: load_index(flat_path, verify=mode), LOAD_REPEATS
+                lambda: load_index(flat_path, options=ServingOptions(verify=mode)), LOAD_REPEATS
             )
 
         sharded_path = os.path.join(tmp, "sharded")
@@ -96,7 +96,7 @@ def _run():
         os.environ[faults.ENV_FAULT_DIR] = fault_dir
         try:
             # Healthy pooled baseline, then crash recovery per repeat.
-            with load_index(sharded_path, workers=WORKERS) as served:
+            with load_index(sharded_path, options=ServingOptions(workers=WORKERS)) as served:
                 _assert_parity(
                     reference, served.batch_query(queries), "warm-up"
                 )
@@ -121,9 +121,7 @@ def _run():
                 out["recovery_s"] = statistics.median(recovery_times)
 
             # Degraded serving once a shard's bundle is gone.
-            with load_index(
-                sharded_path, workers=WORKERS, on_shard_failure="degrade"
-            ) as served:
+            with load_index(sharded_path, options=ServingOptions(workers=WORKERS, on_shard_failure="degrade")) as served:
                 split = int(served.bounds[1])
                 served.batch_query(queries)  # healthy warm-up
                 faults.delete_bundle(f"{sharded_path}.shard1")

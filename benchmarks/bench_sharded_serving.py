@@ -35,6 +35,7 @@ import tempfile
 import numpy as np
 
 from repro.api import IndexSpec, load_index, save_index
+from repro.serving import ServingOptions
 from repro.spaces import hamming
 
 from _harness import clustered_hamming, fmt_row, median_time, report, timed
@@ -137,7 +138,7 @@ def _run():
             sharded_path, queries
         )
         for workers in (1, 4):
-            with load_index(sharded_path, workers=workers) as served:
+            with load_index(sharded_path, options=ServingOptions(workers=workers)) as served:
                 # Warm worker caches and verify both the plain and the
                 # worker-clipped paths before timing anything.
                 _assert_pool_parity(

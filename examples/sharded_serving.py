@@ -30,6 +30,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.api import build_index, load_index, save_index
+from repro.serving import ServingOptions
 from repro.spaces import hamming
 
 RNG_SEED = 2018
@@ -80,7 +81,7 @@ def main():
         save_index(sharded, shard_base)
         print(f"sharded save: {sharded!r}")
 
-        with load_index(shard_base, workers=2) as pool_index:
+        with load_index(shard_base, options=ServingOptions(workers=2)) as pool_index:
             print(f"pool serving: {pool_index!r}")
             pooled = pool_index.batch_query(queries)
             assert [r.indices for r in pooled] == [

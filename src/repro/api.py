@@ -49,7 +49,7 @@ import dataclasses
 import json
 import pathlib
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
@@ -78,6 +78,9 @@ from repro.index.persistence import (
     write_arrays,
 )
 from repro.index.queryable import Queryable
+
+if TYPE_CHECKING:  # serving imports api lazily; keep the cycle type-only
+    from repro.serving.options import ServingOptions
 from repro.index.range_reporting import RangeReportingIndex
 
 __all__ = [
@@ -714,14 +717,23 @@ def verify_saved_index(
 
 def load_index(
     path: str | pathlib.Path,
-    mmap: bool = True,
+    mmap: bool | None = None,
     workers: int | None = None,
-    verify: str = "lazy",
-    on_shard_failure: str = "raise",
+    verify: str | None = None,
+    on_shard_failure: str | None = None,
+    *,
+    options: "ServingOptions | None" = None,
 ) -> Queryable:
     """Revive a :func:`save_index` index — zero-copy, O(1) in ``n``.
 
-    With ``mmap=True`` (default) the table arrays (and ``points`` for
+    Serving configuration arrives as one frozen
+    :class:`~repro.serving.options.ServingOptions` (``options=``); the
+    loose ``mmap=`` / ``workers=`` / ``verify=`` / ``on_shard_failure=``
+    keywords still work for one release via a
+    :class:`DeprecationWarning` shim, but mixing them with ``options=``
+    raises ``ValueError``.
+
+    With ``options.mmap`` true (default) the table arrays (and ``points`` for
     application kinds) are read-only memory maps into the ``.npz``: cold
     start costs file opens and header parses, not a rebuild's ``O(L n)``
     hash evaluations, and concurrent serving processes share the pages.
@@ -741,48 +753,51 @@ def load_index(
 
     A sharded save (``ShardedIndex.save`` / a spec with ``shards > 1``)
     is detected from the sidecar and dispatched to
-    :meth:`~repro.serving.sharded.ShardedIndex.load`; ``workers`` then
-    selects process-pool serving (it is invalid for single indexes) —
-    query blocks are chunked across ``(shard, chunk)`` tasks, workers
+    :meth:`~repro.serving.sharded.ShardedIndex.load`; ``options.workers``
+    then selects process-pool serving (it is invalid for single indexes)
+    — query blocks are chunked across ``(shard, chunk)`` tasks, workers
     apply the exactness-preserving ``max_retrieved`` clip shard-locally,
     and large hit payloads return through ``multiprocessing``
     shared-memory segments rather than the executor pipe (see
     :mod:`repro.serving.sharded`).  Pool workers cache each shard by
     ``(path, mtime_ns, size)``, so re-saving a shard file in place is
-    picked up on the next request.  ``on_shard_failure`` (sharded pool
-    serving only) selects what ``batch_query`` does once a shard's
-    retries are exhausted: ``"raise"`` propagates the failure,
+    picked up on the next request.  ``options.on_shard_failure``
+    (sharded pool serving only) selects what ``batch_query`` does once a
+    shard's retries are exhausted: ``"raise"`` propagates the failure,
     ``"degrade"`` serves the surviving shards' exact merge with
     ``QueryStats.degraded=True`` and the failure recorded in
     ``ShardedIndex.last_health``.
     """
+    from repro.serving.options import resolve_serving_options
+
+    opts = resolve_serving_options(
+        options,
+        mmap=mmap,
+        workers=workers,
+        verify=verify,
+        on_shard_failure=on_shard_failure,
+    )
     npz_path, json_path = index_paths(path)
     sidecar = json.loads(json_path.read_text())
     _check_sidecar_format(sidecar, json_path)
     if sidecar.get("layout") == "sharded":
         from repro.serving.sharded import ShardedIndex
 
-        return ShardedIndex.load(
-            path,
-            workers=workers,
-            mmap=mmap,
-            verify=verify,
-            on_shard_failure=on_shard_failure,
-        )
-    if workers is not None:
+        return ShardedIndex.load(path, options=opts)
+    if opts.workers is not None:
         raise ValueError(
             "workers= applies to sharded indexes only; this file holds a "
             "single index"
         )
-    if on_shard_failure != "raise":
+    if opts.on_shard_failure != "raise":
         raise ValueError(
             "on_shard_failure= applies to sharded indexes only; this "
             "file holds a single index"
         )
     spec = IndexSpec.from_dict(sidecar["spec"])
-    arrays = _read_arrays_checked(npz_path, mmap=mmap)
+    arrays = _read_arrays_checked(npz_path, mmap=opts.mmap)
     verify_integrity(
-        npz_path, sidecar.get("integrity"), mode=verify, arrays=arrays
+        npz_path, sidecar.get("integrity"), mode=opts.verify, arrays=arrays
     )
     index = _revive(spec, sidecar, arrays)
     index.spec = spec

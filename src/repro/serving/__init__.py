@@ -5,6 +5,16 @@
   candidate-stream merging, persisted shard files, process-pool fan-out
   for multi-core batched serving, and fault tolerance (pool crash
   recovery, graceful shard degradation, shared-memory crash journal).
+* :mod:`repro.serving.server` — :class:`~repro.serving.server.AsyncIndexServer`:
+  the asyncio front door that coalesces concurrent single-query traffic
+  into micro-batches over replicated snapshots, with backpressure
+  shedding, health-based replica routing, and zero-downtime hot swaps
+  (:func:`~repro.serving.server.serve_in_thread` for a synchronous
+  :class:`~repro.index.queryable.Queryable` handle).
+* :mod:`repro.serving.options` — the frozen
+  :class:`~repro.serving.options.ServingOptions` bag every serving
+  entry point (`load_index`, `ShardedIndex.load`, `AsyncIndexServer`)
+  accepts, with dict/JSON round-trip alongside ``IndexSpec``.
 * :mod:`repro.serving.faults` — opt-in fault-injection hooks (worker
   kill, segment loss, bundle corruption) for chaos tests and recovery
   benchmarks.
@@ -15,6 +25,15 @@ checksums) lives one layer down: :func:`repro.api.save_index` /
 """
 
 from repro.serving.faults import FaultInjected
+from repro.serving.options import ServingOptions
+from repro.serving.server import (
+    AsyncIndexServer,
+    ServedResult,
+    ServerHandle,
+    ServerOverloadedError,
+    ServeStats,
+    serve_in_thread,
+)
 from repro.serving.sharded import (
     PoolRecoveryError,
     ShardedIndex,
@@ -26,6 +45,13 @@ __all__ = [
     "ShardedIndex",
     "PoolRecoveryError",
     "FaultInjected",
+    "ServingOptions",
+    "AsyncIndexServer",
+    "ServerHandle",
+    "ServerOverloadedError",
+    "ServeStats",
+    "ServedResult",
+    "serve_in_thread",
     "check_manifest_coherence",
     "shard_bounds",
 ]

@@ -1,0 +1,162 @@
+"""One frozen bag for every serving knob.
+
+Serving configuration used to travel as a sprawl of loose keywords —
+``mmap=`` / ``workers=`` / ``verify=`` / ``on_shard_failure=`` on the
+loaders, ``max_retries`` / ``retry_backoff_s`` as post-construction
+attributes, ``timeout=`` per call — and each new entry point had to
+re-plumb all of them.  :class:`ServingOptions` consolidates the set
+into a single frozen dataclass that :func:`repro.api.load_index`,
+:meth:`repro.serving.sharded.ShardedIndex.load`, and
+:class:`repro.serving.server.AsyncIndexServer` all accept as
+``options=``, with a dict/JSON round-trip mirroring
+:class:`repro.api.IndexSpec` so a deployment can pin *what to build*
+and *how to serve it* in the same config file.
+
+The legacy keywords keep working for one release via a deprecation
+shim (:func:`resolve_serving_options`); mixing them with ``options=``
+is an error rather than a silent merge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from typing import Any, Mapping
+
+from repro.index.persistence import VERIFY_MODES
+
+__all__ = [
+    "DEFAULT_MAX_RETRIES",
+    "DEFAULT_RETRY_BACKOFF_S",
+    "FAILURE_MODES",
+    "ServingOptions",
+    "resolve_serving_options",
+]
+
+DEFAULT_MAX_RETRIES = 2
+DEFAULT_RETRY_BACKOFF_S = 0.05
+
+FAILURE_MODES = ("raise", "degrade")
+
+_LEGACY_HINT = (
+    "pass options=ServingOptions(...) instead; the loose serving "
+    "keywords (mmap=/workers=/verify=/on_shard_failure=) are "
+    "deprecated and will be removed in a future release"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingOptions:
+    """Frozen serving configuration shared by every query surface.
+
+    ``workers``
+        Process-pool size for sharded serving (``None`` = query shards
+        in-process on the caller's thread).  Must be ``None`` for
+        single-file indexes.
+    ``mmap``
+        Memory-map array payloads on load (O(1) cold start) instead of
+        materialising them.
+    ``verify``
+        Integrity mode for loads: ``"eager"`` (checksum everything up
+        front), ``"lazy"`` (verify each shard on first touch), or
+        ``"off"``.
+    ``on_shard_failure``
+        ``"raise"`` surfaces a dead shard as :class:`PoolRecoveryError`;
+        ``"degrade"`` serves from the surviving shards and marks results
+        ``stats.degraded``.  Must be ``"raise"`` for single-file indexes.
+    ``timeout``
+        Default per-request deadline in seconds applied when a call does
+        not pass its own ``timeout=`` (``None`` = wait indefinitely).
+    ``max_retries`` / ``retry_backoff_s``
+        Crash-recovery budget per pool generation: how many times a
+        failed shard batch is retried after a worker respawn, and the
+        linear backoff step between attempts.
+    """
+
+    workers: int | None = None
+    mmap: bool = True
+    verify: str = "lazy"
+    on_shard_failure: str = "raise"
+    timeout: float | None = None
+    max_retries: int = DEFAULT_MAX_RETRIES
+    retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S
+
+    def __post_init__(self) -> None:
+        """Validate every field eagerly so bad configs fail at build time."""
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be None or >= 1, got {self.workers}")
+        if self.verify not in VERIFY_MODES:
+            raise ValueError(
+                f"unknown verify mode {self.verify!r}; expected one of {VERIFY_MODES}"
+            )
+        if self.on_shard_failure not in FAILURE_MODES:
+            raise ValueError(
+                f"unknown on_shard_failure mode {self.on_shard_failure!r}; "
+                f"expected one of {FAILURE_MODES}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be None or > 0, got {self.timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able dict of every field (round-trips via :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ServingOptions":
+        """Rebuild options from a :meth:`to_dict` payload.
+
+        Unknown keys raise ``ValueError`` (a typo'd knob should fail the
+        deploy, not silently fall back to a default).
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ServingOptions field(s) {unknown}; expected a "
+                f"subset of {sorted(known)}"
+            )
+        return cls(**dict(payload))
+
+
+def resolve_serving_options(
+    options: ServingOptions | None,
+    *,
+    mmap: bool | None = None,
+    workers: int | None = None,
+    verify: str | None = None,
+    on_shard_failure: str | None = None,
+    stacklevel: int = 3,
+) -> ServingOptions:
+    """Fold legacy loose keywords into one :class:`ServingOptions`.
+
+    The deprecation shim behind every serving entry point: explicit
+    legacy keywords emit a :class:`DeprecationWarning` and are folded
+    into a fresh options object; combining them with ``options=`` raises
+    ``ValueError``; passing neither returns the defaults.
+    """
+    legacy: dict[str, Any] = {}
+    if mmap is not None:
+        legacy["mmap"] = mmap
+    if workers is not None:
+        legacy["workers"] = workers
+    if verify is not None:
+        legacy["verify"] = verify
+    if on_shard_failure is not None:
+        legacy["on_shard_failure"] = on_shard_failure
+    if options is not None:
+        if legacy:
+            raise ValueError(
+                "pass either options=ServingOptions(...) or the legacy "
+                f"keyword(s) {sorted(legacy)}, not both"
+            )
+        return options
+    if not legacy:
+        return ServingOptions()
+    warnings.warn(_LEGACY_HINT, DeprecationWarning, stacklevel=stacklevel)
+    return ServingOptions(**legacy)

@@ -117,6 +117,12 @@ from repro.index.persistence import (
     IndexIntegrityError,
 )
 from repro.serving.faults import FaultInjected, fault_point
+from repro.serving.options import (
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_RETRY_BACKOFF_S,
+    ServingOptions,
+    resolve_serving_options,
+)
 
 __all__ = [
     "ShardedIndex",
@@ -124,6 +130,8 @@ __all__ = [
     "check_manifest_coherence",
     "shard_bounds",
     "SHM_MIN_BYTES",
+    "DEFAULT_MAX_RETRIES",
+    "DEFAULT_RETRY_BACKOFF_S",
 ]
 
 #: Hit payloads at or above this many bytes return from pool workers via a
@@ -136,16 +144,9 @@ SHM_MIN_BYTES = 32_768
 #: the per-task overhead (submit, hash, descriptor) dominates.
 MIN_CHUNK_QUERIES = 16
 
-#: Default bound on same-request retry rounds after transient pool
-#: failures (worker loss, vanished shared-memory segments); the first
-#: attempt is not a retry.  Override per index via
-#: :attr:`ShardedIndex.max_retries`.
-DEFAULT_MAX_RETRIES = 2
-
-#: Base of the exponential backoff between retry rounds, in seconds
-#: (round ``k`` sleeps ``backoff * 2**(k-1)``).  Override per index via
-#: :attr:`ShardedIndex.retry_backoff_s`.
-DEFAULT_RETRY_BACKOFF_S = 0.05
+# DEFAULT_MAX_RETRIES / DEFAULT_RETRY_BACKOFF_S live canonically on
+# repro.serving.options (ServingOptions carries them per index); they are
+# re-imported and re-exported here for compatibility.
 
 
 class PoolRecoveryError(RuntimeError):
@@ -704,6 +705,7 @@ class ShardedIndex:
             self._shards = [build_one(s) for s in range(spec.shards)]
         self._paths: list[str] | None = None
         self._pool: ProcessPoolExecutor | None = None
+        self._options: ServingOptions = ServingOptions()
         self._mmap = True
         self._workers: int | None = None
         self._finalizer: weakref.finalize | None = None
@@ -730,6 +732,17 @@ class ShardedIndex:
         self.last_health: dict[str, Any] | None = None
 
     # -- introspection ---------------------------------------------------
+
+    @property
+    def options(self) -> ServingOptions:
+        """The :class:`ServingOptions` this index serves under.
+
+        For in-memory builds this is the defaults; for :meth:`load` it is
+        the resolved load-time configuration.  ``options.timeout`` is the
+        default per-request deadline applied when :meth:`batch_query` is
+        called without ``timeout=``.
+        """
+        return self._options
 
     @property
     def n_points(self) -> int:
@@ -1048,8 +1061,10 @@ class ShardedIndex:
         Pool serving transparently recovers from worker loss (executor
         respawn + bounded same-request retries; see the module
         docstring); ``timeout`` bounds one request end to end, raising
-        builtin :class:`TimeoutError` on expiry.  Once a shard's retries
-        are exhausted the load-time ``on_shard_failure`` mode decides:
+        builtin :class:`TimeoutError` on expiry (``None`` falls back to
+        the load-time ``options.timeout`` default).  Once a shard's
+        retries are exhausted the load-time ``on_shard_failure`` mode
+        decides:
         ``"raise"`` raises :class:`PoolRecoveryError`; ``"degrade"``
         returns the surviving shards' exact merge with every result's
         ``stats.degraded`` set and the failure detailed in
@@ -1060,6 +1075,8 @@ class ShardedIndex:
             raise ValueError(
                 "this ShardedIndex has been closed; load it again to serve"
             )
+        if timeout is None:
+            timeout = self._options.timeout
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
         if queries.shape[0] == 0:
@@ -1217,30 +1234,42 @@ class ShardedIndex:
         path: str | pathlib.Path,
         *,
         workers: int | None = None,
-        mmap: bool = True,
-        verify: str = "lazy",
-        on_shard_failure: str = "raise",
+        mmap: bool | None = None,
+        verify: str | None = None,
+        on_shard_failure: str | None = None,
+        options: ServingOptions | None = None,
     ) -> "ShardedIndex":
         """Revive a :meth:`save` layout.
 
-        ``workers=None`` loads every shard in-process (memory-mapped when
-        ``mmap=True``).  ``workers=W`` starts a persistent ``W``-process
-        pool instead and defers shard opening to the workers — the parent
-        never touches table data, so cold start is the manifest read plus
-        pool spawn.  The pool is shut down by :meth:`close` (idempotent),
-        by the context-manager exit, or — as a safety net — by a
-        ``weakref.finalize`` hook when the index is garbage collected, so
-        forgotten handles cannot leak worker processes (the hook also
-        reclaims the shared-memory crash journal).
+        Serving configuration arrives as one frozen
+        :class:`~repro.serving.options.ServingOptions` (``options=``);
+        the loose ``workers=`` / ``mmap=`` / ``verify=`` /
+        ``on_shard_failure=`` keywords still work for one release via a
+        :class:`DeprecationWarning` shim, but mixing them with
+        ``options=`` raises ``ValueError``.
 
-        ``verify`` sets the integrity level every shard bundle is held
-        to, at load time and on every worker-side (re)load: ``"lazy"``
-        (default, O(1) structural checks), ``"eager"`` (full per-member
-        re-checksum), ``"off"``.  ``on_shard_failure`` selects what a
-        pool ``batch_query`` does once a shard's retries are exhausted:
-        ``"raise"`` (default) propagates :class:`PoolRecoveryError`,
-        ``"degrade"`` serves the surviving shards' exact merge with
-        results flagged ``degraded`` (see :meth:`batch_query`).
+        ``options.workers=None`` loads every shard in-process
+        (memory-mapped when ``options.mmap`` is true).  ``workers=W``
+        starts a persistent ``W``-process pool instead and defers shard
+        opening to the workers — the parent never touches table data, so
+        cold start is the manifest read plus pool spawn.  The pool is
+        shut down by :meth:`close` (idempotent), by the context-manager
+        exit, or — as a safety net — by a ``weakref.finalize`` hook when
+        the index is garbage collected, so forgotten handles cannot leak
+        worker processes (the hook also reclaims the shared-memory crash
+        journal).
+
+        ``options.verify`` sets the integrity level every shard bundle
+        is held to, at load time and on every worker-side (re)load:
+        ``"lazy"`` (default, O(1) structural checks), ``"eager"`` (full
+        per-member re-checksum), ``"off"``.  ``options.on_shard_failure``
+        selects what a pool ``batch_query`` does once a shard's retries
+        are exhausted: ``"raise"`` (default) propagates
+        :class:`PoolRecoveryError`, ``"degrade"`` serves the surviving
+        shards' exact merge with results flagged ``degraded`` (see
+        :meth:`batch_query`).  ``options.timeout`` becomes the default
+        per-request deadline; ``options.max_retries`` /
+        ``options.retry_backoff_s`` set the crash-recovery budget.
 
         Raises :class:`repro.index.persistence.IndexIntegrityError` when
         a shard bundle fails the requested integrity checks at load
@@ -1254,16 +1283,13 @@ class ShardedIndex:
             verify_saved_index,
         )
 
-        if verify not in VERIFY_MODES:
-            raise ValueError(
-                f"unknown verify mode {verify!r}; expected one of "
-                f"{VERIFY_MODES}"
-            )
-        if on_shard_failure not in ("raise", "degrade"):
-            raise ValueError(
-                f"on_shard_failure must be 'raise' or 'degrade', got "
-                f"{on_shard_failure!r}"
-            )
+        opts = resolve_serving_options(
+            options,
+            mmap=mmap,
+            workers=workers,
+            verify=verify,
+            on_shard_failure=on_shard_failure,
+        )
         _, json_path = index_paths(path)
         manifest = json.loads(json_path.read_text())
         if manifest.get("layout") != "sharded":
@@ -1279,15 +1305,16 @@ class ShardedIndex:
         self._bounds = np.asarray(manifest["bounds"], dtype=np.int64)
         self._dim = int(manifest["dim"])
         self._paths = [str(json_path.parent / name) for name in shard_names]
-        self._mmap = mmap
-        self._workers = workers
+        self._options = opts
+        self._mmap = opts.mmap
+        self._workers = opts.workers
         self._finalizer = None
         self._shm_min_bytes = SHM_MIN_BYTES
-        self._verify = verify
-        self._on_shard_failure = on_shard_failure
+        self._verify = opts.verify
+        self._on_shard_failure = opts.on_shard_failure
         self._journal_dir = None
-        self.max_retries = DEFAULT_MAX_RETRIES
-        self.retry_backoff_s = DEFAULT_RETRY_BACKOFF_S
+        self.max_retries = opts.max_retries
+        self.retry_backoff_s = opts.retry_backoff_s
         self.last_transport = None
         self.last_health = None
         # Fail now, not inside a pool worker's first query: a partial
@@ -1304,24 +1331,23 @@ class ShardedIndex:
                 f"manifest {json_path} names missing shard file(s): "
                 f"{missing}"
             )
-        if workers is None:
+        if opts.workers is None:
+            shard_opts = ServingOptions(mmap=opts.mmap, verify=opts.verify)
             self._shards = [
-                load_index(p, mmap=mmap, verify=verify) for p in self._paths
+                load_index(p, options=shard_opts) for p in self._paths
             ]
             self._pool = None
         else:
-            if workers < 1:
-                raise ValueError(f"workers must be >= 1, got {workers}")
-            if verify != "off":
+            if opts.verify != "off":
                 # A damaged shard should be rejected here with a
                 # clearly-attributed IndexIntegrityError, not inside a
                 # pool worker's first query (workers still re-verify on
                 # every (re)load, covering hot swaps).
                 for p in self._paths:
-                    verify_saved_index(p, verify=verify)
+                    verify_saved_index(p, verify=opts.verify)
             self._shards = None
             self._journal_dir = tempfile.mkdtemp(prefix="repro-shm-journal-")
-            self._pool = ProcessPoolExecutor(max_workers=workers)
+            self._pool = ProcessPoolExecutor(max_workers=opts.workers)
             self._finalizer = weakref.finalize(
                 self, _cleanup_pool, self._pool, self._journal_dir
             )

@@ -142,18 +142,14 @@ class TestCandidateResultCompat:
             assert result.indices == [0, 1, 2, 3, 4]
 
 
-class TestDeprecationShims:
-    def test_query_candidates_warns_and_matches_query(self):
+class TestRemovedShims:
+    def test_query_candidates_shim_is_gone(self):
+        # Deprecated in PR 2, removed in this release: the README
+        # migration table documents `query` as the replacement.
         index = DSHIndex(BitSampling(8), n_tables=3, rng=0).build(
             np.zeros((5, 8), dtype=np.int8)
         )
-        q = np.zeros(8, dtype=np.int8)
-        with pytest.warns(DeprecationWarning, match="query_candidates"):
-            legacy = index.query_candidates(q)
-        assert legacy == index.query(q)
-        with pytest.warns(DeprecationWarning):
-            truncated = index.query_candidates(q, max_retrieved=2)
-        assert truncated == index.query(q, max_retrieved=2)
+        assert not hasattr(index, "query_candidates")
 
 
 class TestQueryableProtocol:

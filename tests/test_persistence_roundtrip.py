@@ -29,7 +29,7 @@ from repro.index.persistence import (
     read_arrays,
     write_arrays,
 )
-from repro.serving import ShardedIndex, faults
+from repro.serving import ServingOptions, ShardedIndex, faults
 from repro.families.bit_sampling import BitSampling
 from repro.spaces import euclidean, hamming, sphere
 from repro.utils.rng import rng_from_state, rng_state
@@ -97,7 +97,7 @@ class TestRawRoundTrip:
             **params,
         )
         save_index(index, tmp_path / "idx")
-        loaded = load_index(tmp_path / "idx", mmap=mmap)
+        loaded = load_index(tmp_path / "idx", options=ServingOptions(mmap=mmap))
         assert loaded.spec == index.spec
         assert loaded.n_points == index.n_points
         assert loaded.dim == index.dim
@@ -142,7 +142,7 @@ class TestRawRoundTrip:
         )
         reference = index.batch_query(queries)
         save_index(index, tmp_path / "idx")
-        loaded = load_index(tmp_path / "idx", mmap=True)
+        loaded = load_index(tmp_path / "idx", options=ServingOptions(mmap=True))
         save_index(loaded, tmp_path / "idx")  # in-place re-save
         _assert_candidates_equal(reference, loaded.batch_query(queries))
         reloaded = load_index(tmp_path / "idx")
@@ -155,9 +155,9 @@ class TestRawRoundTrip:
             n_tables=N_TABLES, rng=1, backend="packed",
         )
         save_index(index, tmp_path / "idx")
-        loaded = load_index(tmp_path / "idx", mmap=True)
+        loaded = load_index(tmp_path / "idx", options=ServingOptions(mmap=True))
         assert isinstance(loaded._backend._ids, np.memmap)
-        eager = load_index(tmp_path / "idx", mmap=False)
+        eager = load_index(tmp_path / "idx", options=ServingOptions(mmap=False))
         assert not isinstance(eager._backend._ids, np.memmap)
 
 
@@ -289,7 +289,7 @@ class TestPersistenceErrors:
     def test_workers_invalid_for_single_index(self, tmp_path):
         self._saved(tmp_path)
         with pytest.raises(ValueError, match="sharded indexes only"):
-            load_index(tmp_path / "idx", workers=2)
+            load_index(tmp_path / "idx", options=ServingOptions(workers=2))
 
     def test_index_paths_appends_suffixes(self):
         for given in ("base", "base.npz", "base.json"):
@@ -368,7 +368,7 @@ class TestIntegrityVerification:
         faults.truncate_bundle(base, 0.5)
         for verify in ("lazy", "eager"):
             with pytest.raises(IndexIntegrityError) as excinfo:
-                load_index(base, verify=verify)
+                load_index(base, options=ServingOptions(verify=verify))
             assert excinfo.value.kind == "truncated"
         with pytest.raises(IndexIntegrityError):
             verify_saved_index(base, verify="lazy")
@@ -379,12 +379,12 @@ class TestIntegrityVerification:
         _, base, queries = self._saved(tmp_path)
         faults.corrupt_bundle(base)
         with pytest.raises(IndexIntegrityError) as excinfo:
-            load_index(base, verify="eager")
+            load_index(base, options=ServingOptions(verify="eager"))
         assert excinfo.value.kind == "checksum"
         # Lazy load itself succeeds — the corrupted bytes are admitted
         # (queries over them may then fail arbitrarily; that is the
         # documented price of the O(1) check).
-        loaded = load_index(base, verify="lazy")
+        loaded = load_index(base, options=ServingOptions(verify="lazy"))
         assert loaded.n_points == 60
 
     def test_size_skew_modes(self, tmp_path):
@@ -399,9 +399,9 @@ class TestIntegrityVerification:
         )
         for verify in ("lazy", "eager"):
             with pytest.raises(IndexIntegrityError) as excinfo:
-                load_index(base, verify=verify)
+                load_index(base, options=ServingOptions(verify=verify))
             assert excinfo.value.kind == "truncated"
-        loaded = load_index(base, verify="off")
+        loaded = load_index(base, options=ServingOptions(verify="off"))
         for a, b in zip(reference, loaded.batch_query(queries)):
             assert a.indices == b.indices and a.stats == b.stats
 
@@ -415,7 +415,7 @@ class TestIntegrityVerification:
 
         self._edit_sidecar(base, flip_dtype)
         with pytest.raises(IndexIntegrityError) as excinfo:
-            load_index(base, verify="eager")
+            load_index(base, options=ServingOptions(verify="eager"))
         assert excinfo.value.kind == "manifest"
 
     def test_legacy_sidecar_without_checksums_still_loads(self, tmp_path):
@@ -426,14 +426,14 @@ class TestIntegrityVerification:
         self._edit_sidecar(base, lambda s: s.pop("integrity"))
         verify_saved_index(base, verify="eager")  # no record: no raise
         for verify in ("lazy", "eager", "off"):
-            loaded = load_index(base, verify=verify)
+            loaded = load_index(base, options=ServingOptions(verify=verify))
             for a, b in zip(reference, loaded.batch_query(queries)):
                 assert a.indices == b.indices and a.stats == b.stats
 
     def test_unknown_verify_mode_rejected(self, tmp_path):
         _, base, _ = self._saved(tmp_path)
         with pytest.raises(ValueError, match="verify mode"):
-            load_index(base, verify="paranoid")
+            load_index(base, options=ServingOptions(verify="paranoid"))
         with pytest.raises(ValueError, match="verify mode"):
             verify_saved_index(base, verify="sometimes")
 

@@ -18,7 +18,12 @@ import pytest
 
 from repro.api import IndexSpec, load_index
 from repro.index.persistence import IndexIntegrityError
-from repro.serving import FaultInjected, PoolRecoveryError, ShardedIndex
+from repro.serving import (
+    FaultInjected,
+    PoolRecoveryError,
+    ServingOptions,
+    ShardedIndex,
+)
 from repro.serving import faults
 from repro.spaces import hamming
 
@@ -197,7 +202,7 @@ class TestPoolRecovery:
     ):
         _, queries = data
         reference = flat.batch_query(queries, max_retrieved=23)
-        with load_index(served_dir / "srv", workers=2) as served:
+        with load_index(served_dir / "srv", options=ServingOptions(workers=2)) as served:
             served._shm_min_bytes = 0 if shm else None
             faults.arm(fault_dir, "pool_worker", "kill")
             observed = served.batch_query(queries, max_retrieved=23)
@@ -218,7 +223,7 @@ class TestPoolRecovery:
         the leak window: the crash journal must reclaim it."""
         _, queries = data
         reference = flat.batch_query(queries)
-        with load_index(served_dir / "srv", workers=1) as served:
+        with load_index(served_dir / "srv", options=ServingOptions(workers=1)) as served:
             served._shm_min_bytes = 0
             faults.arm(fault_dir, "shm_ship", "kill")
             observed = served.batch_query(queries)
@@ -233,7 +238,7 @@ class TestPoolRecovery:
         re-run, not the request failed."""
         _, queries = data
         reference = flat.batch_query(queries)
-        with load_index(served_dir / "srv", workers=1) as served:
+        with load_index(served_dir / "srv", options=ServingOptions(workers=1)) as served:
             served._shm_min_bytes = 0
             faults.arm(fault_dir, "shm_attach", "raise")
             observed = served.batch_query(queries)
@@ -245,7 +250,7 @@ class TestPoolRecovery:
         self, data, flat, served_dir, fault_dir, shm_guard
     ):
         _, queries = data
-        with load_index(served_dir / "srv", workers=1) as served:
+        with load_index(served_dir / "srv", options=ServingOptions(workers=1)) as served:
             served.max_retries = 1
             served.retry_backoff_s = 0.01
             faults.arm(fault_dir, "pool_worker", "kill", count=10)
@@ -262,7 +267,7 @@ class TestPoolRecovery:
         self, data, flat, served_dir, fault_dir, shm_guard
     ):
         _, queries = data
-        with load_index(served_dir / "srv", workers=1) as served:
+        with load_index(served_dir / "srv", options=ServingOptions(workers=1)) as served:
             faults.arm(fault_dir, "pool_worker", "sleep:2.0")
             start = time.monotonic()
             with pytest.raises(TimeoutError) as excinfo:
@@ -276,7 +281,7 @@ class TestPoolRecovery:
 
     def test_rejects_nonpositive_timeout(self, data, served_dir):
         _, queries = data
-        with load_index(served_dir / "srv", workers=1) as served:
+        with load_index(served_dir / "srv", options=ServingOptions(workers=1)) as served:
             with pytest.raises(ValueError, match="timeout must be positive"):
                 served.batch_query(queries, timeout=0.0)
 
@@ -291,9 +296,7 @@ class TestGracefulDegradation:
         self, data, served_dir, fault_dir, shm_guard
     ):
         points, queries = data
-        with load_index(
-            served_dir / "srv", workers=2, on_shard_failure="degrade"
-        ) as served:
+        with load_index(served_dir / "srv", options=ServingOptions(workers=2, on_shard_failure="degrade")) as served:
             split = int(served.bounds[1])
             served.batch_query(queries)  # healthy warm-up
             assert served.last_health["degraded"] is False
@@ -311,7 +314,7 @@ class TestGracefulDegradation:
         self, data, served_dir, fault_dir, shm_guard
     ):
         _, queries = data
-        with load_index(served_dir / "srv", workers=1) as served:
+        with load_index(served_dir / "srv", options=ServingOptions(workers=1)) as served:
             served.batch_query(queries)
             faults.delete_bundle(served_dir / "srv.shard1")
             with pytest.raises(PoolRecoveryError, match="srv.shard1"):
@@ -321,9 +324,7 @@ class TestGracefulDegradation:
         self, data, served_dir, fault_dir, shm_guard
     ):
         _, queries = data
-        with load_index(
-            served_dir / "srv", workers=1, on_shard_failure="degrade"
-        ) as served:
+        with load_index(served_dir / "srv", options=ServingOptions(workers=1, on_shard_failure="degrade")) as served:
             served.batch_query(queries)
             faults.delete_bundle(served_dir / "srv.shard0")
             faults.delete_bundle(served_dir / "srv.shard1")
@@ -332,9 +333,9 @@ class TestGracefulDegradation:
 
     def test_load_validates_mode_values(self, served_dir):
         with pytest.raises(ValueError, match="on_shard_failure"):
-            load_index(served_dir / "srv", workers=1, on_shard_failure="nope")
+            load_index(served_dir / "srv", options=ServingOptions(workers=1, on_shard_failure="nope"))
         with pytest.raises(ValueError, match="verify mode"):
-            load_index(served_dir / "srv", workers=1, verify="paranoid")
+            load_index(served_dir / "srv", options=ServingOptions(workers=1, verify="paranoid"))
 
 
 # ---------------------------------------------------------------------------
@@ -346,13 +347,13 @@ class TestIntegrityUnderFaults:
     def test_eager_load_rejects_corrupted_shard(self, served_dir):
         faults.corrupt_bundle(served_dir / "srv.shard0")
         with pytest.raises(IndexIntegrityError) as excinfo:
-            load_index(served_dir / "srv", workers=1, verify="eager")
+            load_index(served_dir / "srv", options=ServingOptions(workers=1, verify="eager"))
         assert excinfo.value.kind == "checksum"
 
     def test_lazy_load_rejects_truncated_shard(self, served_dir):
         faults.truncate_bundle(served_dir / "srv.shard1", 0.5)
         with pytest.raises(IndexIntegrityError) as excinfo:
-            load_index(served_dir / "srv", workers=1, verify="lazy")
+            load_index(served_dir / "srv", options=ServingOptions(workers=1, verify="lazy"))
         assert excinfo.value.kind == "truncated"
 
     def test_hot_swapped_corruption_caught_by_worker(
@@ -361,12 +362,7 @@ class TestIntegrityUnderFaults:
         """Corruption arriving *after* load (in-place rewrite) is caught
         by the worker-side re-verify on reload, not served silently."""
         points, queries = data
-        with load_index(
-            served_dir / "srv",
-            workers=1,
-            verify="eager",
-            on_shard_failure="degrade",
-        ) as served:
+        with load_index(served_dir / "srv", options=ServingOptions(workers=1, verify="eager", on_shard_failure="degrade")) as served:
             split = int(served.bounds[1])
             served.batch_query(queries)  # healthy, caches the clean shard
             faults.corrupt_bundle(served_dir / "srv.shard1")
@@ -384,7 +380,7 @@ class TestIntegrityUnderFaults:
 
 class TestHealthProbe:
     def test_healthy_pool_report(self, served_dir, shm_guard):
-        with load_index(served_dir / "srv", workers=2) as served:
+        with load_index(served_dir / "srv", options=ServingOptions(workers=2)) as served:
             report = served.health()
             assert report["ok"] is True
             assert report["mode"] == "pool"
@@ -395,7 +391,7 @@ class TestHealthProbe:
             assert os.getpid() not in report["workers"]["alive_pids"]
 
     def test_health_flags_damaged_shard(self, served_dir, shm_guard):
-        with load_index(served_dir / "srv", workers=1) as served:
+        with load_index(served_dir / "srv", options=ServingOptions(workers=1)) as served:
             faults.delete_bundle(served_dir / "srv.shard0")
             report = served.health()
             assert report["ok"] is False
@@ -406,7 +402,7 @@ class TestHealthProbe:
     def test_health_eager_override_catches_bit_flip(
         self, served_dir, shm_guard
     ):
-        with load_index(served_dir / "srv", workers=1) as served:
+        with load_index(served_dir / "srv", options=ServingOptions(workers=1)) as served:
             faults.corrupt_bundle(served_dir / "srv.shard1")
             assert served.health()["ok"] is True  # lazy: size unchanged
             report = served.health(verify="eager")
@@ -418,7 +414,7 @@ class TestHealthProbe:
         in_memory = ShardedIndex(points, _spec(shards=2))
         assert in_memory.health()["mode"] == "in-process"
         assert in_memory.health()["ok"] is True
-        served = load_index(served_dir / "srv", workers=1)
+        served = load_index(served_dir / "srv", options=ServingOptions(workers=1))
         served.close()
         assert served.health()["mode"] == "closed"
         assert served.health()["ok"] is False

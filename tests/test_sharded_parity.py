@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from repro.api import IndexSpec, build_index, load_index, save_index
-from repro.serving import ShardedIndex, shard_bounds
+from repro.serving import ServingOptions, ShardedIndex, shard_bounds
 from repro.spaces import hamming
 
 N_POINTS = 257  # deliberately not divisible by the shard counts
@@ -135,7 +135,7 @@ class TestShardedPersistence:
         sharded = ShardedIndex(points, _spec(shards=3))
         manifest = save_index(sharded, tmp_path / "srv")
         assert manifest.name == "srv.json"
-        loaded = load_index(tmp_path / "srv", mmap=mmap)
+        loaded = load_index(tmp_path / "srv", options=ServingOptions(mmap=mmap))
         assert isinstance(loaded, ShardedIndex)
         assert loaded.n_shards == 3
         assert loaded.spec == sharded.spec
@@ -149,7 +149,7 @@ class TestShardedPersistence:
         points, queries = data
         flat = _spec().build(points)
         ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
-        with load_index(tmp_path / "srv", workers=2) as pool_index:
+        with load_index(tmp_path / "srv", options=ServingOptions(workers=2)) as pool_index:
             # Twice: the second call exercises the worker-side shard cache.
             for _ in range(2):
                 _assert_results_equal(
@@ -161,14 +161,14 @@ class TestShardedPersistence:
     def test_pool_mode_cannot_resave(self, data, tmp_path):
         points, _ = data
         ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
-        with load_index(tmp_path / "srv", workers=1) as pool_index:
+        with load_index(tmp_path / "srv", options=ServingOptions(workers=1)) as pool_index:
             with pytest.raises(ValueError, match="already-saved"):
                 pool_index.save(tmp_path / "other")
 
     def test_closed_pool_index_raises_clearly(self, data, tmp_path):
         points, queries = data
         ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
-        pool_index = load_index(tmp_path / "srv", workers=1)
+        pool_index = load_index(tmp_path / "srv", options=ServingOptions(workers=1))
         pool_index.close()
         with pytest.raises(ValueError, match="closed"):
             pool_index.batch_query(queries)
@@ -179,7 +179,7 @@ class TestShardedPersistence:
         points, queries = data
         flat = _spec().build(points)
         ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
-        with load_index(tmp_path / "srv", workers=1, mmap=False) as served:
+        with load_index(tmp_path / "srv", options=ServingOptions(workers=1, mmap=False)) as served:
             _assert_results_equal(
                 flat.batch_query(queries), served.batch_query(queries)
             )
@@ -195,7 +195,7 @@ class TestPoolTransport:
         points, queries = data
         flat = _spec().build(points)
         ShardedIndex(points, _spec(shards=3)).save(tmp_path / "srv")
-        with load_index(tmp_path / "srv", workers=2) as served:
+        with load_index(tmp_path / "srv", options=ServingOptions(workers=2)) as served:
             served._shm_min_bytes = 0  # every result through shared memory
             for budget in BUDGETS:
                 _assert_results_equal(
@@ -208,7 +208,7 @@ class TestPoolTransport:
         points, queries = data
         flat = _spec().build(points)
         ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
-        with load_index(tmp_path / "srv", workers=1) as served:
+        with load_index(tmp_path / "srv", options=ServingOptions(workers=1)) as served:
             served._shm_min_bytes = None  # never use shared memory
             for budget in (None, 1, 23):
                 _assert_results_equal(
@@ -226,7 +226,7 @@ class TestPoolTransport:
         queries = _clustered_points(80, rng)
         flat = _spec().build(points)
         ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
-        with load_index(tmp_path / "srv", workers=2) as served:
+        with load_index(tmp_path / "srv", options=ServingOptions(workers=2)) as served:
             _assert_results_equal(
                 flat.batch_query(queries, max_retrieved=40),
                 served.batch_query(queries, max_retrieved=40),
@@ -241,7 +241,7 @@ class TestPoolTransport:
         merge keeps."""
         points, queries = data
         ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
-        with load_index(tmp_path / "srv", workers=1) as served:
+        with load_index(tmp_path / "srv", options=ServingOptions(workers=1)) as served:
             served._shm_min_bytes = None  # everything over the pipe
             served.batch_query(queries)
             unclipped = served.last_transport["pipe_bytes"]
@@ -256,7 +256,7 @@ class TestPoolTransport:
         rng = np.random.default_rng(99)
         replacement = _clustered_points(N_POINTS, rng)
         ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
-        with load_index(tmp_path / "srv", workers=1) as served:
+        with load_index(tmp_path / "srv", options=ServingOptions(workers=1)) as served:
             _assert_results_equal(
                 _spec().build(points).batch_query(queries),
                 served.batch_query(queries),  # warms the worker cache
@@ -272,7 +272,7 @@ class TestPoolLifecycle:
     def test_close_is_idempotent(self, data, tmp_path):
         points, _ = data
         ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
-        served = load_index(tmp_path / "srv", workers=1)
+        served = load_index(tmp_path / "srv", options=ServingOptions(workers=1))
         pool = served._pool
         served.close()
         served.close()  # second close must be a clean no-op
@@ -285,7 +285,7 @@ class TestPoolLifecycle:
 
         points, _ = data
         ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
-        served = load_index(tmp_path / "srv", workers=1)
+        served = load_index(tmp_path / "srv", options=ServingOptions(workers=1))
         pool = served._pool
         del served
         gc.collect()
@@ -296,7 +296,7 @@ class TestPoolLifecycle:
         in_memory = ShardedIndex(points, _spec(shards=2))
         assert "in-process" in repr(in_memory)
         in_memory.save(tmp_path / "srv")
-        served = load_index(tmp_path / "srv", workers=2)
+        served = load_index(tmp_path / "srv", options=ServingOptions(workers=2))
         assert "pool=2" in repr(served)
         served.close()
         assert "closed" in repr(served)
@@ -336,7 +336,7 @@ class TestEmptyShardContribution:
         points, queries = split_data
         reference = _spec("dict").build(points)
         ShardedIndex(points, _spec(shards=2)).save(tmp_path / "srv")
-        with load_index(tmp_path / "srv", workers=1) as served:
+        with load_index(tmp_path / "srv", options=ServingOptions(workers=1)) as served:
             for budget in (None, 0, 1, 15, 40):
                 _assert_results_equal(
                     reference.batch_query(queries, max_retrieved=budget),
